@@ -1,0 +1,96 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module reproduces one table or figure of the paper (see
+DESIGN.md §4).  Training runs and lifetime simulations are expensive, so
+they are computed once per session in the fixtures below and shared by
+every bench that needs them.  Every bench writes its rendered artefact
+(ASCII table/plot) to ``benchmarks/output/<name>.txt`` and prints it, so
+``pytest benchmarks/ --benchmark-only -s`` shows the full reproduction
+and the output directory keeps it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+import pytest
+
+from repro.core import AgingAwareFramework
+from repro.core.presets import ExperimentPreset, lenet_glyphs, vggnet_shapes
+from repro.core.results import LifetimeResult
+from repro.data.dataset import Dataset
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def report(output_dir) -> Callable[[str, str], None]:
+    """Write an artefact to the output dir and echo it to stdout."""
+
+    def _report(name: str, text: str) -> None:
+        path = output_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return _report
+
+
+@dataclass
+class Lab:
+    """One workload's lazily computed experiment state."""
+
+    preset: ExperimentPreset
+    dataset: Dataset
+    framework: AgingAwareFramework
+    _results: Dict[tuple, LifetimeResult] = field(default_factory=dict)
+
+    def result(self, scenario_key: str, repeat: int = 0) -> LifetimeResult:
+        """Lifetime result for one scenario repeat (cached per session)."""
+        key = (scenario_key, repeat)
+        if key not in self._results:
+            self._results[key] = self.framework.run_scenario(scenario_key, repeat=repeat)
+        return self._results[key]
+
+    def median_result(self, scenario_key: str, repeats: int = 3) -> LifetimeResult:
+        """Median-lifetime result over ``repeats`` hardware seeds.
+
+        Lifetime is heavy-tailed; the median of a few repeats is what
+        the Table I benches compare."""
+        results = [self.result(scenario_key, r) for r in range(repeats)]
+        results = sorted(results, key=lambda r: r.lifetime_applications)
+        return results[len(results) // 2]
+
+    def baseline_model(self):
+        return self.framework.trained_model(False)
+
+    def skewed_model(self):
+        return self.framework.trained_model(True)
+
+
+def _make_lab(preset: ExperimentPreset) -> Lab:
+    dataset = preset.make_dataset()
+    framework = AgingAwareFramework(
+        preset.build_network, dataset, preset.framework_config, seed=preset.seed
+    )
+    return Lab(preset=preset, dataset=dataset, framework=framework)
+
+
+@pytest.fixture(scope="session")
+def lenet_lab() -> Lab:
+    """The LeNet-5/Cifar10 role (glyph digits)."""
+    return _make_lab(lenet_glyphs(fast=False))
+
+
+@pytest.fixture(scope="session")
+def vgg_lab() -> Lab:
+    """The VGG-16/Cifar100 role (textured shapes)."""
+    return _make_lab(vggnet_shapes(fast=False))

@@ -1,0 +1,87 @@
+"""Ablation A5: the current-acceleration exponent of aging.
+
+The entire skewed-training benefit flows through one physical
+assumption: how strongly per-pulse endurance damage accelerates with
+programming current (``DeviceConfig.current_aging_exponent``; stress ∝
+(R_min/R)^γ).  This ablation sweeps γ and measures the ST+T vs T+T
+lifetime ratio — at γ = 0 (current-independent aging) the skewed
+technique should buy nothing; the ratio must grow with γ.  This is the
+falsification experiment for the reproduction's headline mechanism, and
+it explains why our measured Table-I multiples differ from the paper's
+(see EXPERIMENTS.md).
+"""
+
+from dataclasses import replace
+
+from repro.analysis import render_table
+from repro.core.lifetime import LifetimeConfig, LifetimeSimulator
+from repro.core.sweep import Sweep
+from repro.mapping.network import MappedNetwork, clone_model
+from repro.tuning import TuningConfig
+
+GAMMAS = (0.0, 1.0, 2.0, 3.0)
+
+
+def run(lab):
+    cfg = lab.preset.framework_config
+    x = lab.dataset.x_train[:192]
+    y = lab.dataset.y_train[:192]
+
+    def evaluate(gamma, rng):
+        device = replace(cfg.device, current_aging_exponent=float(gamma))
+        lifetimes = {}
+        for skewed in (False, True):
+            model = lab.framework.trained_model(skewed)
+            network = MappedNetwork(
+                clone_model(model), device, trace_block=cfg.trace_block,
+                seed=int(rng.integers(0, 2**31)),
+            )
+            target = 0.93 * lab.framework.software_accuracy(skewed)
+            lifetime_cfg = LifetimeConfig(
+                apps_per_window=cfg.lifetime.apps_per_window,
+                drift_magnitude=cfg.lifetime.drift_magnitude,
+                max_windows=250,
+                tuning=TuningConfig(
+                    target_accuracy=target,
+                    max_iterations=cfg.lifetime.tuning.max_iterations,
+                    patience_evals=cfg.lifetime.tuning.patience_evals,
+                ),
+            )
+            sim = LifetimeSimulator(
+                network, x, y, config=lifetime_cfg, seed=int(rng.integers(0, 2**31))
+            )
+            lifetimes[skewed] = sim.run("ablation").lifetime_applications
+        return {
+            "tt_lifetime": lifetimes[False],
+            "stt_lifetime": lifetimes[True],
+            "ratio": lifetimes[True] / max(lifetimes[False], 1),
+        }
+
+    sweep = Sweep("gamma", evaluate, seed=2024)
+    return sweep.run(GAMMAS)
+
+
+def test_ablation_aging_exponent(benchmark, lenet_lab, report):
+    result = benchmark.pedantic(lambda: run(lenet_lab), rounds=1, iterations=1)
+    report(
+        "ablation_aging_exponent",
+        render_table(
+            ["gamma", "T+T lifetime", "ST+T lifetime", "ST+T / T+T"],
+            [
+                [p.value, f"{p.metrics['tt_lifetime']:.0f}",
+                 f"{p.metrics['stt_lifetime']:.0f}", f"{p.metrics['ratio']:.2f}x"]
+                for p in result.successful()
+            ],
+            title="Ablation A5 — current-acceleration exponent of aging",
+        ),
+    )
+    ratios = {p.value: p.metrics["ratio"] for p in result.successful()}
+    # With current-independent aging only the quantization benefit
+    # remains — a small residual multiple...
+    assert ratios[0.0] < 2.0
+    # ...and any current acceleration unlocks the full mechanism.
+    # (Measured shape: the ratio peaks around gamma 1-2 and softens at
+    # extreme acceleration, where the failure mode shifts to tuning-hot
+    # devices that both scenarios share — see EXPERIMENTS.md.)
+    assert ratios[1.0] > ratios[0.0]
+    assert ratios[2.0] > ratios[0.0]

@@ -1,0 +1,61 @@
+"""Ablation A2: quantization level count (the paper cites 32- and
+64-level devices).
+
+Reported per level count: post-mapping accuracy (before tuning) and the
+iterations online tuning needs to restore the target — for both the
+baseline and the skewed network.  More levels help both, and the skewed
+network's advantage is largest at coarse quantization (that is where
+level placement matters).
+"""
+
+from repro.analysis import render_table
+from repro.device import DeviceConfig
+from repro.mapping import MappedNetwork
+from repro.mapping.network import clone_model
+from repro.tuning import OnlineTuner, TuningConfig
+
+LEVELS = (8, 16, 32, 64)
+
+
+def run(lab):
+    x = lab.dataset.x_train[:192]
+    y = lab.dataset.y_train[:192]
+    rows = []
+    for skewed in (False, True):
+        model = lab.framework.trained_model(skewed)
+        target = 0.9 * lab.framework.software_accuracy(skewed)
+        for n_levels in LEVELS:
+            cfg = DeviceConfig(n_levels=n_levels, pulses_to_collapse=1e5)
+            net = MappedNetwork(clone_model(model), cfg, seed=7)
+            net.map_network()
+            premap = net.score(x, y)
+            tuner = OnlineTuner(
+                TuningConfig(target_accuracy=target, max_iterations=80), seed=8
+            )
+            result = tuner.tune(net, x, y)
+            rows.append(
+                ("skewed" if skewed else "baseline", n_levels, premap,
+                 result.iterations, result.converged)
+            )
+    return rows
+
+
+def test_ablation_levels(benchmark, lenet_lab, report):
+    rows = benchmark.pedantic(lambda: run(lenet_lab), rounds=1, iterations=1)
+    report(
+        "ablation_levels",
+        render_table(
+            ["training", "levels", "post-map acc", "tuning iters", "converged"],
+            [[r[0], r[1], f"{r[2]:.3f}", r[3], r[4]] for r in rows],
+            title="Ablation A2 — quantization levels",
+        ),
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    # More levels -> better (or equal) post-map accuracy at the extremes.
+    for who in ("baseline", "skewed"):
+        assert by_key[(who, 64)][2] >= by_key[(who, 8)][2]
+    # Convergence at practical level counts.
+    assert by_key[("skewed", 32)][4]
+    assert by_key[("skewed", 64)][4]
+    # The skewed network tolerates coarse quantization better.
+    assert by_key[("skewed", 16)][2] >= by_key[("baseline", 16)][2] - 0.02

@@ -1,0 +1,66 @@
+"""Ablation A6: operating temperature.
+
+Eq. (6)–(7) are Arrhenius-activated, so the paper's aging functions are
+explicitly temperature-dependent — but its evaluation never varies T.
+This ablation sweeps the operating temperature and reports, at a fixed
+programming-traffic budget: the remaining usable levels and the
+endurance (pulses until a device at worst-case stress dies).  Hotter
+devices must age exponentially faster, with the exact Arrhenius ratio.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.device import DeviceConfig, Memristor
+from repro.device.aging import BOLTZMANN_EV
+
+TEMPERATURES = (280.0, 300.0, 325.0, 350.0)
+TRAFFIC = 400  # worst-case pulses applied before measuring
+
+
+def run():
+    rows = []
+    for temperature in TEMPERATURES:
+        cfg = DeviceConfig(
+            pulses_to_collapse=2000, temperature=temperature, write_noise=0.0
+        )
+        # NOTE: calibration is done *at* the configured temperature, so
+        # to expose the T-dependence we calibrate once at 300 K and
+        # carry those params to every temperature.
+        ref = DeviceConfig(pulses_to_collapse=2000, temperature=300.0, write_noise=0.0)
+        cfg.aging_params = ref.make_aging_model().params
+
+        cell = Memristor(cfg, seed=1)
+        endurance = 0
+        levels_after_traffic = None
+        while not cell.is_dead and endurance < 100_000:
+            cell.program(cfg.r_min)
+            endurance += 1
+            if endurance == TRAFFIC:
+                levels_after_traffic = len(cell.usable_levels())
+        rows.append((temperature, levels_after_traffic, endurance))
+    return rows
+
+
+def test_ablation_temperature(benchmark, report):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_temperature",
+        render_table(
+            ["temperature (K)", f"levels after {TRAFFIC} pulses", "endurance (pulses)"],
+            [[f"{t:.0f}", lv if lv is not None else "dead", e] for t, lv, e in rows],
+            title="Ablation A6 — operating temperature (calibrated at 300 K)",
+        ),
+    )
+    by_t = {t: (lv, e) for t, lv, e in rows}
+    # Monotone: hotter -> fewer surviving levels, shorter endurance.
+    endurances = [by_t[t][1] for t in TEMPERATURES]
+    assert endurances == sorted(endurances, reverse=True)
+    # The endurance ratio between 300 K and 350 K matches Arrhenius
+    # within discretization (endurance ∝ 1/rate for the linear-time
+    # model).
+    ea = DeviceConfig().activation_energy
+    expected = np.exp(ea / BOLTZMANN_EV * (1 / 300.0 - 1 / 350.0))
+    measured = by_t[300.0][1] / by_t[350.0][1]
+    assert measured == pytest.approx(expected, rel=0.1)

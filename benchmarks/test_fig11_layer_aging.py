@@ -1,0 +1,62 @@
+"""Fig. 11: aging of convolutional vs fully-connected layers.
+
+The paper: "the aging effect in convolutional layers is stronger than
+fully-connected layers, because convolutional layers ... are programmed
+more often."  Measured as the average aged upper resistance bound per
+layer type over the T+T lifetime of the VGG-role network.
+"""
+
+from repro.analysis import ascii_series, layer_type_aging, render_table
+from repro.mapping import MappedNetwork
+from repro.mapping.network import clone_model
+from repro.core.lifetime import LifetimeSimulator
+
+
+def compute(lab):
+    """Re-run a short T+T lifetime keeping a handle on the network so
+    the per-layer kinds are available for grouping."""
+    cfg = lab.preset.framework_config
+    model = clone_model(lab.framework.trained_model(False))
+    network = MappedNetwork(
+        model,
+        device_config=cfg.device,
+        tile_rows=cfg.tile_rows,
+        tile_cols=cfg.tile_cols,
+        trace_block=cfg.trace_block,
+        seed=1234,
+    )
+    x = lab.dataset.x_train[: cfg.tune_samples]
+    y = lab.dataset.y_train[: cfg.tune_samples]
+    cfg.lifetime.tuning.target_accuracy = 0.93 * lab.framework.software_accuracy(False)
+    sim = LifetimeSimulator(network, x, y, config=cfg.lifetime, seed=99)
+    result = sim.run("t+t")
+    return result, network
+
+
+def test_fig11_layer_aging(benchmark, vgg_lab, report):
+    result, network = benchmark.pedantic(lambda: compute(vgg_lab), rounds=1, iterations=1)
+    grouped = layer_type_aging(result, network)
+    r_max = network.device_config.r_max
+    parts = []
+    rows = []
+    for kind in ("conv", "dense"):
+        series = grouped[kind]
+        parts.append(
+            ascii_series(series, height=8, label=f"{kind} layers — mean aged R_max")
+        )
+        parts.append("")
+        rows.append([kind, f"{series[0]:.0f}", f"{series[-1]:.0f}",
+                     f"{r_max - series[-1]:.0f}"])
+    parts.append(
+        render_table(["layer type", "initial R_max", "final R_max", "total drop"], rows)
+    )
+    report("fig11_layer_aging", "\n".join(parts))
+
+    # Shape: conv layers age faster (larger drop of the upper bound).
+    conv_drop = r_max - grouped["conv"][-1]
+    dense_drop = r_max - grouped["dense"][-1]
+    assert conv_drop > dense_drop
+    # Both decline monotonically (aging is irreversible).
+    for kind in ("conv", "dense"):
+        series = grouped[kind]
+        assert all(b <= a + 1e-6 for a, b in zip(series, series[1:]))

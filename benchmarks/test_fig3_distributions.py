@@ -1,0 +1,61 @@
+"""Fig. 3: hardware mapping and quantization of a conventionally
+trained network.
+
+(a) trained weights are quasi-normal; (b) mapped resistances are skewed
+towards low resistance (reciprocal of the conductance map); (c) mapped
+conductance levels are non-uniform, dense at small conductances.
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    ascii_histogram,
+    resistance_histogram,
+    summarize_distribution,
+    weight_histogram,
+)
+from repro.device import DeviceConfig
+from repro.mapping import LinearWeightMapping
+
+
+def compute(lab):
+    weights = lab.baseline_model().all_weight_values()
+    cfg = DeviceConfig()
+    mapping = LinearWeightMapping.from_weights(weights, cfg.g_min, cfg.g_max)
+    grid = cfg.make_level_grid()
+    return weights, mapping, grid
+
+
+def test_fig3_distributions(benchmark, lenet_lab, report):
+    weights, mapping, grid = benchmark.pedantic(
+        lambda: compute(lenet_lab), rounds=1, iterations=1
+    )
+    summary = summarize_distribution(weights)
+
+    w_edges, w_counts = weight_histogram(weights, bins=24)
+    r_edges, r_counts = resistance_histogram(weights, mapping, bins=24)
+    g_gaps = -np.diff(np.sort(grid.conductance_levels)[::-1])
+
+    parts = [
+        f"(a) trained weight distribution "
+        f"(mean={summary.mean:+.3f}, skewness={summary.skewness:+.2f}):",
+        ascii_histogram(w_edges, w_counts, width=40),
+        "",
+        "(b) mapped resistance distribution:",
+        ascii_histogram(r_edges / 1e3, r_counts, width=40, label="(kOhm bins)"),
+        "",
+        "(c) conductance level gaps (uniform R levels -> non-uniform G):",
+        f"    largest gap / smallest gap = "
+        f"{np.max(np.abs(g_gaps)) / np.min(np.abs(g_gaps)):.1f}",
+    ]
+    report("fig3_distributions", "\n".join(parts))
+
+    # Shape assertions:
+    # (a) quasi-normal: near-zero mean, |skewness| small.
+    assert abs(summary.skewness) < 0.8
+    # (b) resistance mass sits below the range midpoint (Fig. 3b skew).
+    centers = 0.5 * (r_edges[:-1] + r_edges[1:])
+    mean_r = np.average(centers, weights=r_counts)
+    assert mean_r < 0.5 * (r_edges[0] + r_edges[-1])
+    # (c) conductance levels strongly non-uniform.
+    assert np.max(np.abs(g_gaps)) > 5 * np.min(np.abs(g_gaps))

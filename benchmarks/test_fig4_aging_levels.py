@@ -1,0 +1,54 @@
+"""Fig. 4: the aged resistance window and usable levels vs accumulated
+programming time.
+
+Both bounds decrease; the upper bound falls faster, so quantized levels
+disappear from the top and the usable level count decreases stepwise —
+eventually a target at a high level "can only end up" at a low one.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_series, render_table
+from repro.device import DeviceConfig
+
+
+def sweep(n_points=40):
+    cfg = DeviceConfig(pulses_to_collapse=1e4, n_levels=8)
+    aging = cfg.make_aging_model()
+    grid = cfg.make_level_grid()
+    pulses = np.linspace(0, 1.2e4, n_points)
+    rows = []
+    for p in pulses:
+        t = p * cfg.pulse_width
+        lo, hi = aging.aged_bounds(cfg.r_min, cfg.r_max, cfg.temperature, float(t))
+        rows.append((float(p), float(lo), float(hi), int(grid.usable_count(lo, hi))))
+    return cfg, grid, rows
+
+
+def test_fig4_aging_levels(benchmark, report):
+    cfg, grid, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    upper = [r[2] for r in rows]
+    levels = [r[3] for r in rows]
+    table = render_table(
+        ["pulses", "R_aged_min", "R_aged_max", "usable levels"],
+        [[f"{r[0]:.0f}", f"{r[1]:.0f}", f"{r[2]:.0f}", r[3]] for r in rows[::5]],
+        title="Fig. 4 — aged window vs accumulated programming (8-level device)",
+    )
+    plot = ascii_series(upper, label="R_aged_max vs pulses")
+    report("fig4_aging_levels", table + "\n\n" + plot)
+
+    # Shape: monotone bounds, stepwise level loss from 8 down.
+    assert all(b >= a for a, b in zip(upper[1:], upper[:-1]))
+    assert levels[0] == 8
+    assert levels[-1] < 8
+    assert sorted(levels, reverse=True) == levels
+    # Fig. 4's example: late in life only a few levels remain.
+    assert levels[-1] <= 3
+
+    # The "Level 7 ends up at Level 2"-style clipping:
+    lo, hi = cfg.make_aging_model().aged_bounds(
+        cfg.r_min, cfg.r_max, cfg.temperature, 1.0e4 * cfg.pulse_width * 0.8
+    )
+    target_level_7 = grid.value_of(7)
+    achieved = grid.quantize(target_level_7, lo, hi)
+    assert achieved < target_level_7

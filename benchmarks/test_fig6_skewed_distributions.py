@@ -1,0 +1,63 @@
+"""Fig. 6: skewed weight mapping and quantization.
+
+(a) skewed training pushes the weights towards small values (the low end
+of the weight range), in contrast to Fig. 3(a); (b) the corresponding
+resistance distribution concentrates at large resistances.  Bonus
+assertion: the skewed network's quantization error is lower (the
+denser-levels argument).
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_histogram, resistance_histogram, weight_histogram
+from repro.device import DeviceConfig
+from repro.mapping import LinearWeightMapping
+from repro.mapping.quantize import quantization_error
+
+
+def compute(lab):
+    cfg = DeviceConfig()
+    grid = cfg.make_level_grid()
+
+    def bundle(model):
+        w = model.all_weight_values()
+        mapping = LinearWeightMapping.from_weights(w, cfg.g_min, cfg.g_max)
+        return w, mapping, quantization_error(w, mapping, grid)
+
+    return bundle(lab.baseline_model()), bundle(lab.skewed_model())
+
+
+def relative_mass_position(w: np.ndarray) -> float:
+    """Median position within [w_min, w_max]; small = mass at low end."""
+    return float((np.median(w) - w.min()) / (w.max() - w.min()))
+
+
+def test_fig6_skewed_distributions(benchmark, lenet_lab, report):
+    (w_b, map_b, err_b), (w_s, map_s, err_s) = benchmark.pedantic(
+        lambda: compute(lenet_lab), rounds=1, iterations=1
+    )
+    w_edges, w_counts = weight_histogram(w_s, bins=24)
+    r_edges, r_counts = resistance_histogram(w_s, map_s, bins=24)
+    parts = [
+        "(a) skewed weight distribution (mass at the low end, long right tail):",
+        ascii_histogram(w_edges, w_counts, width=40),
+        "",
+        "(b) corresponding resistance distribution (mass at large R):",
+        ascii_histogram(r_edges / 1e3, r_counts, width=40, label="(kOhm bins)"),
+        "",
+        f"relative mass position  baseline={relative_mass_position(w_b):.2f}  "
+        f"skewed={relative_mass_position(w_s):.2f}",
+        f"weight-domain quantization RMS  baseline={err_b:.4f}  skewed={err_s:.4f}",
+    ]
+    report("fig6_skewed_distributions", "\n".join(parts))
+
+    # Shape assertions:
+    assert relative_mass_position(w_s) < relative_mass_position(w_b)
+    # Resistance mass above midpoint (contrast with Fig. 3(b)).
+    centers = 0.5 * (r_edges[:-1] + r_edges[1:])
+    mean_r = np.average(centers, weights=r_counts)
+    base_edges, base_counts = resistance_histogram(w_b, map_b, bins=24)
+    base_centers = 0.5 * (base_edges[:-1] + base_edges[1:])
+    assert mean_r > np.average(base_centers, weights=base_counts)
+    # Denser levels at the mass location -> lower quantization error.
+    assert err_s < err_b

@@ -1,0 +1,47 @@
+"""Fig. 7: the two-segment regularization profile.
+
+The solid curve is the quasi-normal distribution of conventionally
+trained weights; the two dashed curves are R1(W) (steep, left of the
+reference weight beta) and R2(W) (shallow, right of beta).  This bench
+renders both and pins the analytic properties of the profile.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_series, weight_histogram
+from repro.nn.regularizers import SkewedL2Regularizer, beta_from_std
+
+
+def compute(lab):
+    weights = lab.baseline_model().all_weight_values()
+    beta = beta_from_std(weights, -1.0)
+    reg = SkewedL2Regularizer(beta=beta, lambda1=5e-2, lambda2=1e-3)
+    xs = np.linspace(weights.min(), weights.max(), 201)
+    return weights, beta, reg, xs, reg.penalty_profile(xs)
+
+
+def test_fig7_regularizer(benchmark, lenet_lab, report):
+    weights, beta, reg, xs, profile = benchmark.pedantic(
+        lambda: compute(lenet_lab), rounds=1, iterations=1
+    )
+    edges, counts = weight_histogram(weights, bins=30)
+    parts = [
+        f"reference weight beta = -1.0 * sigma = {beta:+.4f}",
+        "",
+        "penalty profile over the trained weight range:",
+        ascii_series(profile.tolist(), label="R1(W) | R2(W)"),
+        "",
+        "trained (quasi-normal) weight density for reference:",
+        ascii_series(counts.tolist(), label="weight histogram counts"),
+    ]
+    report("fig7_regularizer", "\n".join(parts))
+
+    # Analytic shape of Fig. 7:
+    i_beta = int(np.argmin(np.abs(xs - beta)))
+    # Zero at beta, increasing away from it on both sides.
+    assert profile[i_beta] == min(profile)
+    # Steep left branch: equal distance left costs lambda1/lambda2 more.
+    d = 0.45 * (xs[-1] - beta)
+    left = reg.penalty_profile(np.array([beta - d]))[0]
+    right = reg.penalty_profile(np.array([beta + d]))[0]
+    assert left / right == (reg.lambda1 / reg.lambda2)

@@ -1,0 +1,44 @@
+"""Fig. 9: the skewed weight distribution of the third (conv) layer of
+the VGG-role network.
+
+The paper shows one representative layer: most weights concentrated
+towards small values with a thin right tail; "the weight distributions
+of other layers have similar tendencies".
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_histogram, weight_histogram
+from repro.training import distribution_skewness
+
+
+def compute(lab):
+    model = lab.skewed_model()
+    weighted = model.weighted_layers()
+    # The third weighted (conv) layer, as in the paper's figure.
+    idx, layer = weighted[2]
+    return idx, layer.params["W"].ravel().copy(), [
+        (i, distribution_skewness(l.params["W"])) for i, l in weighted
+    ]
+
+
+def test_fig9_layer_distribution(benchmark, vgg_lab, report):
+    idx, weights, all_skews = benchmark.pedantic(
+        lambda: compute(vgg_lab), rounds=1, iterations=1
+    )
+    edges, counts = weight_histogram(weights, bins=24)
+    parts = [
+        f"layer index {idx} (third conv layer) of the skewed VGG-role net:",
+        ascii_histogram(edges, counts, width=40),
+        "",
+        "per-layer weight skewness (all layers show the same tendency):",
+        "\n".join(f"  layer {i}: {s:+.2f}" for i, s in all_skews),
+    ]
+    report("fig9_layer_distribution", "\n".join(parts))
+
+    # Shape: right-skewed, mass in the lower half of the range.
+    assert distribution_skewness(weights) > 0.3
+    position = (np.median(weights) - weights.min()) / (weights.max() - weights.min())
+    assert position < 0.45
+    # "Similar tendencies": a majority of layers are right-skewed.
+    assert sum(1 for _i, s in all_skews if s > 0) > len(all_skews) / 2

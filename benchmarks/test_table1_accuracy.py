@@ -1,0 +1,48 @@
+"""Table I (accuracy columns): classification accuracy without vs with
+skewed-weight software training, on both workloads.
+
+Paper numbers (Cifar10/LeNet-5 and Cifar100/VGG-16): the skewed accuracy
+is *slightly lower* for the small network and *higher* for the deep one.
+The reproduction checks the same shape: skewed accuracy within a couple
+of points of baseline on the LeNet role, and not worse on the VGG role.
+"""
+
+from repro.analysis import render_table
+
+
+def _accuracy_rows(lab):
+    base = lab.framework.software_accuracy(False)
+    skew = lab.framework.software_accuracy(True)
+    return base, skew
+
+
+def test_table1_accuracy_lenet(benchmark, lenet_lab, report):
+    base, skew = benchmark.pedantic(
+        lambda: _accuracy_rows(lenet_lab), rounds=1, iterations=1
+    )
+    report(
+        "table1_accuracy_lenet",
+        render_table(
+            ["network", "dataset", "acc (baseline)", "acc (skewed)"],
+            [["LeNet-role CNN", lenet_lab.dataset.name, f"{base:.3f}", f"{skew:.3f}"]],
+            title="Table I (accuracy) — LeNet role",
+        ),
+    )
+    # Paper shape: slightly lower is acceptable, collapse is not.
+    assert skew > base - 0.05
+
+
+def test_table1_accuracy_vgg(benchmark, vgg_lab, report):
+    base, skew = benchmark.pedantic(
+        lambda: _accuracy_rows(vgg_lab), rounds=1, iterations=1
+    )
+    report(
+        "table1_accuracy_vgg",
+        render_table(
+            ["network", "dataset", "acc (baseline)", "acc (skewed)"],
+            [["VGG-role CNN", vgg_lab.dataset.name, f"{base:.3f}", f"{skew:.3f}"]],
+            title="Table I (accuracy) — VGG role",
+        ),
+    )
+    # Paper shape: the deep network's skewed accuracy is not worse.
+    assert skew >= base - 0.02

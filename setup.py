@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This offline environment has no ``wheel`` package, so PEP 660 editable
+installs fail; keeping a ``setup.py`` lets ``pip install -e . \
+--no-build-isolation`` fall back to the classic ``setup.py develop``
+path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

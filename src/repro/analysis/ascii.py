@@ -1,0 +1,108 @@
+"""Plain-text rendering for the benchmark harness.
+
+The benchmarks run in a terminal with no plotting stack, so every
+figure of the paper is reproduced as an ASCII rendering: histograms as
+horizontal bar charts, trajectories as sparkline-style series, tables as
+aligned columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def ascii_histogram(
+    edges: np.ndarray,
+    counts: np.ndarray,
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """Horizontal bar chart of a histogram.
+
+    >>> print(ascii_histogram(np.array([0., 1., 2.]), np.array([2, 4]), width=4))
+    [ 0.000,  1.000) ##   (2)
+    [ 1.000,  2.000) #### (4)
+    """
+    edges = np.asarray(edges, dtype=np.float64)
+    counts = np.asarray(counts)
+    if len(edges) != len(counts) + 1:
+        raise ConfigurationError("need len(edges) == len(counts) + 1")
+    peak = max(1, int(counts.max())) if counts.size else 1
+    lines: List[str] = []
+    if label:
+        lines.append(label)
+    bar_width = max(len(str(int(c))) for c in counts) if counts.size else 1
+    for i, c in enumerate(counts):
+        bar = "#" * max(0, round(width * int(c) / peak))
+        lines.append(
+            f"[{edges[i]:>7.3f}, {edges[i+1]:>7.3f}) {bar:<{width}} ({int(c):>{bar_width}})"
+        )
+    return "\n".join(lines)
+
+
+def ascii_series(
+    values: Sequence[float],
+    height: int = 10,
+    width: int = 70,
+    label: str = "",
+) -> str:
+    """Line-ish plot of a numeric series using a character grid."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ConfigurationError("cannot plot an empty series")
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    n = len(values)
+    # Downsample/stretch to the plot width.
+    cols = min(width, n)
+    idx = np.linspace(0, n - 1, cols).round().astype(int)
+    sampled = [values[i] for i in idx]
+    grid = [[" "] * cols for _ in range(height)]
+    for c, v in enumerate(sampled):
+        row = height - 1 - int(round((v - lo) / span * (height - 1)))
+        grid[row][c] = "*"
+    lines: List[str] = []
+    if label:
+        lines.append(label)
+    lines.append(f"max={hi:.4g}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * cols)
+    lines.append(f"min={lo:.4g}   n={n}")
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Aligned plain-text table.
+
+    >>> print(render_table(["a", "b"], [[1, "x"]]))
+    a  b
+    -  -
+    1  x
+    """
+    headers = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

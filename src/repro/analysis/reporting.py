@@ -1,0 +1,83 @@
+"""Markdown report generation from experiment results.
+
+Turns :class:`~repro.core.results.ScenarioComparison` objects (and
+per-scenario traces) into a self-contained Markdown document — the
+artefact a user hands to colleagues after running the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.analysis.trajectories import iteration_knee
+from repro.core.results import LifetimeResult, ScenarioComparison
+from repro.exceptions import ConfigurationError
+
+
+def _md_table(headers: List[str], rows: Iterable[List[object]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def scenario_section(result: LifetimeResult) -> str:
+    """Markdown section for one scenario's lifetime trajectory."""
+    trace = result.iteration_trace()
+    knee = iteration_knee(trace)
+    lines = [
+        f"### Scenario `{result.scenario_key.upper()}`",
+        "",
+        f"* software accuracy: **{result.software_accuracy:.3f}**"
+        f" (tuning target {result.target_accuracy:.3f})",
+        f"* lifetime: **{result.lifetime_applications:,} applications**"
+        f" over {len(result.windows)} windows"
+        f" ({'failed' if result.failed else 'horizon reached'})",
+        f"* failure knee at window {knee}/{len(trace)}"
+        if knee < len(trace)
+        else "* no failure knee within the horizon",
+    ]
+    if result.windows:
+        last = result.windows[-1]
+        lines.append(
+            f"* end state: {last.pulses_total:,} total pulses, "
+            f"{last.dead_fraction:.1%} dead devices"
+        )
+    return "\n".join(lines)
+
+
+def comparison_report(
+    comparison: ScenarioComparison,
+    title: Optional[str] = None,
+) -> str:
+    """Full Markdown report for a scenario comparison.
+
+    Raises if the comparison is empty (nothing to report).
+    """
+    if not comparison.results:
+        raise ConfigurationError("comparison has no results to report")
+    title = title or f"Lifetime comparison — {comparison.workload}"
+    base_key = comparison.baseline_key
+    rows = []
+    for key, result in comparison.results.items():
+        ratio = comparison.improvement(key)
+        rows.append(
+            [
+                f"`{key.upper()}`",
+                f"{result.software_accuracy:.3f}",
+                f"{result.lifetime_applications:,}",
+                f"{ratio:.1f}x" if ratio is not None else "-",
+            ]
+        )
+    parts = [
+        f"# {title}",
+        "",
+        f"Workload: **{comparison.workload}** — baseline scenario `{base_key.upper()}`.",
+        "",
+        _md_table(["scenario", "software acc", "lifetime (apps)", "vs baseline"], rows),
+        "",
+    ]
+    for result in comparison.results.values():
+        parts.append(scenario_section(result))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

@@ -1,0 +1,61 @@
+"""Trajectory analyses over lifetime results (Fig. 10/11)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.results import LifetimeResult
+from repro.mapping.network import MappedNetwork
+
+
+def iteration_knee(
+    iterations: Sequence[int], factor: float = 2.0, floor: float = 25.0
+) -> int:
+    """Index of the failure knee in an iteration-count series.
+
+    The knee is the first window whose iteration count exceeds **both**
+    ``factor`` times the median of the preceding windows and the
+    absolute ``floor`` (Fig. 10's sudden increase).  The floor keeps
+    ordinary maintenance noise — e.g. a 10-iteration window after a
+    string of zeros — from registering as a knee.  Returns
+    ``len(iterations)`` when no knee exists.
+    """
+    iterations = list(iterations)
+    for i, value in enumerate(iterations):
+        history = iterations[:i]
+        median = float(np.median(history)) if history else 0.0
+        threshold = max(factor * max(median, 1.0), floor)
+        if value > threshold:
+            return i
+    return len(iterations)
+
+
+def layer_type_aging(
+    result: LifetimeResult, network: MappedNetwork
+) -> Dict[str, List[float]]:
+    """Average aged upper bound per *layer type* over windows (Fig. 11).
+
+    Groups the per-layer traces of ``result`` into ``"conv"`` and
+    ``"dense"`` using the mapped network's layer kinds, weighting each
+    layer by its device count.
+    """
+    kind_of = {m.layer_index: m.kind for m in network.layers}
+    size_of = {
+        m.layer_index: m.matrix_shape[0] * m.matrix_shape[1] for m in network.layers
+    }
+    traces = result.layer_aging_trace()
+    out: Dict[str, List[float]] = {}
+    n_windows = len(result.windows)
+    for kind in ("conv", "dense"):
+        members = [idx for idx in traces if kind_of.get(idx) == kind]
+        if not members:
+            continue
+        weights = np.array([size_of[idx] for idx in members], dtype=np.float64)
+        series = []
+        for w in range(n_windows):
+            values = np.array([traces[idx][w] for idx in members])
+            series.append(float(np.average(values, weights=weights)))
+        out[kind] = series
+    return out

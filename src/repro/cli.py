@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+Exposes the main reproduction flows without writing Python::
+
+    python -m repro list-presets
+    python -m repro run --preset lenet-glyphs --scenario st+at --fast
+    python -m repro compare --preset lenet-glyphs --fast --out results.json
+    python -m repro train --preset lenet-glyphs --skewed --weights model.npz
+
+All subcommands are deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.analysis import ascii_series, comparison_report, render_table
+from repro.core import AgingAwareFramework
+from repro.core.presets import PRESETS
+from repro.core.scenarios import SCENARIOS
+from repro.io import load_comparison, save_comparison, save_result, save_weights
+
+
+def _build_framework(args) -> AgingAwareFramework:
+    preset = PRESETS[args.preset](fast=args.fast)
+    dataset = preset.make_dataset()
+    seed = args.seed if args.seed is not None else preset.seed
+    return AgingAwareFramework(
+        preset.build_network, dataset, preset.framework_config, seed=seed
+    )
+
+
+def cmd_list_presets(_args) -> int:
+    rows = []
+    for name, factory in PRESETS.items():
+        preset = factory(fast=False)
+        dataset = preset.make_dataset()
+        rows.append([name, dataset.describe()])
+    print(render_table(["preset", "workload"], rows))
+    return 0
+
+
+def cmd_train(args) -> int:
+    framework = _build_framework(args)
+    model = framework.trained_model(args.skewed)
+    style = "skewed" if args.skewed else "baseline"
+    print(f"{style} training done; test accuracy = "
+          f"{framework.software_accuracy(args.skewed):.4f}")
+    if args.weights:
+        save_weights(model, args.weights)
+        print(f"weights written to {args.weights}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; choose from {sorted(SCENARIOS)}")
+        return 2
+    framework = _build_framework(args)
+    start = time.time()
+    result = framework.run_scenario(args.scenario, repeat=args.repeat)
+    elapsed = time.time() - start
+    print(
+        f"{args.scenario.upper()}: lifetime={result.lifetime_applications} applications "
+        f"({len(result.windows)} windows, "
+        f"{'failed' if result.failed else 'horizon reached'}) in {elapsed:.0f}s"
+    )
+    trace = [float(v) for v in result.iteration_trace()]
+    if trace:
+        print(ascii_series(trace, height=6, label="tuning iterations per window"))
+    if args.out:
+        save_result(result, args.out)
+        print(f"result written to {args.out}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    framework = _build_framework(args)
+    comparison = framework.compare(repeats=args.repeats)
+    base = comparison.results[comparison.baseline_key].lifetime_applications or 1
+    rows = [
+        [
+            key.upper(),
+            f"{r.software_accuracy:.3f}",
+            r.lifetime_applications,
+            f"{r.lifetime_applications / base:.1f}x",
+        ]
+        for key, r in comparison.results.items()
+    ]
+    print(
+        render_table(
+            ["scenario", "software acc", "lifetime (apps)", "vs T+T"],
+            rows,
+            title=f"Lifetime comparison — {comparison.workload}",
+        )
+    )
+    if args.out:
+        save_comparison(comparison, args.out)
+        print(f"comparison written to {args.out}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    comparison = load_comparison(args.comparison)
+    text = comparison_report(comparison)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Aging-aware lifetime enhancement for memristor crossbars "
+        "(DATE 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-presets", help="list available workloads").set_defaults(
+        func=cmd_list_presets
+    )
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--preset", default="lenet-glyphs", choices=sorted(PRESETS))
+        p.add_argument("--fast", action="store_true", help="use the fast preset variant")
+        p.add_argument("--seed", type=int, default=None)
+
+    p_train = sub.add_parser("train", help="software-train a model")
+    common(p_train)
+    p_train.add_argument("--skewed", action="store_true", help="use skewed training")
+    p_train.add_argument("--weights", default=None, help="write weights to .npz")
+    p_train.set_defaults(func=cmd_train)
+
+    p_run = sub.add_parser("run", help="run one lifetime scenario")
+    common(p_run)
+    p_run.add_argument("--scenario", default="st+at", choices=sorted(SCENARIOS))
+    p_run.add_argument("--repeat", type=int, default=0, help="hardware seed index")
+    p_run.add_argument("--out", default=None, help="write result JSON here")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="run T+T / ST+T / ST+AT")
+    common(p_cmp)
+    p_cmp.add_argument("--repeats", type=int, default=1)
+    p_cmp.add_argument("--out", default=None, help="write comparison JSON here")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_rep = sub.add_parser("report", help="render a saved comparison as Markdown")
+    p_rep.add_argument("comparison", help="comparison JSON from `compare --out`")
+    p_rep.add_argument("--out", default=None, help="write Markdown here (default: stdout)")
+    p_rep.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The paper's contribution: the aging-aware lifetime framework.
+
+* :class:`Scenario` — the three evaluation pipelines of Table I:
+  ``T+T`` (traditional training + tuning), ``ST+T`` (skewed training +
+  tuning) and ``ST+AT`` (skewed training + aging-aware mapping +
+  tuning).
+* :class:`LifetimeSimulator` — drives a mapped network through
+  application windows (inference → drift → remap → online tune) until
+  the tuning budget is exceeded: the crossbar's end of life.
+* :class:`AgingAwareFramework` — the Fig. 5 workflow glue: train, map,
+  simulate, compare scenarios.
+"""
+
+from repro.core.framework import AgingAwareFramework, FrameworkConfig
+from repro.core.lifetime import LifetimeConfig, LifetimeSimulator
+from repro.core.presets import PRESETS, ExperimentPreset, lenet_glyphs, vggnet_shapes
+from repro.core.results import LifetimeResult, ScenarioComparison, WindowRecord
+from repro.core.scenarios import SCENARIOS, Scenario
+from repro.core.sweep import Sweep, SweepPoint, SweepResult
+
+__all__ = [
+    "AgingAwareFramework",
+    "ExperimentPreset",
+    "FrameworkConfig",
+    "LifetimeConfig",
+    "LifetimeResult",
+    "LifetimeSimulator",
+    "PRESETS",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioComparison",
+    "Sweep",
+    "SweepPoint",
+    "SweepResult",
+    "WindowRecord",
+    "lenet_glyphs",
+    "vggnet_shapes",
+]

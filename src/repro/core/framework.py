@@ -1,0 +1,190 @@
+"""End-to-end workflow of the paper's Fig. 5.
+
+:class:`AgingAwareFramework` glues the pieces: software training (plain
+or skewed), hardware mapping (fresh or aging-aware), online tuning, and
+the lifetime simulation — and runs the three Table-I scenarios on one
+workload for a like-for-like comparison (each scenario gets its own
+freshly seeded hardware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.lifetime import LifetimeConfig, LifetimeSimulator
+from repro.core.results import LifetimeResult, ScenarioComparison
+from repro.core.scenarios import SCENARIOS, Scenario
+from repro.data.dataset import Dataset
+from repro.device.config import DeviceConfig
+from repro.exceptions import ConfigurationError
+from repro.mapping.aging_aware import AgingAwareMapper
+from repro.mapping.network import MappedNetwork, clone_model
+from repro.nn.model import Sequential
+from repro.rng import SeedLike, derive_rng, ensure_rng
+from repro.training.skewed import SkewedTrainingConfig, skewed_train
+from repro.training.trainer import TrainConfig, train_baseline
+
+
+@dataclass
+class FrameworkConfig:
+    """Everything the framework needs besides network and data."""
+
+    device: DeviceConfig = field(default_factory=DeviceConfig)
+    train: TrainConfig = field(default_factory=TrainConfig)
+    skewed: SkewedTrainingConfig = field(default_factory=SkewedTrainingConfig)
+    lifetime: LifetimeConfig = field(default_factory=LifetimeConfig)
+    tile_rows: int = 128
+    tile_cols: int = 128
+    trace_block: int = 3
+    #: Tuning-set size drawn from the training partition.
+    tune_samples: int = 256
+    #: Target accuracy rule: fraction of the software accuracy that
+    #: online tuning must restore (overridden by an explicit
+    #: ``lifetime.tuning.target_accuracy`` when ``absolute_target``).
+    target_fraction: float = 0.95
+    absolute_target: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_fraction <= 1.0:
+            raise ConfigurationError(
+                f"target_fraction must be in (0, 1], got {self.target_fraction}"
+            )
+        if self.tune_samples < 1:
+            raise ConfigurationError(f"tune_samples must be >= 1, got {self.tune_samples}")
+
+
+class AgingAwareFramework:
+    """Train → map → tune → simulate lifetime, per scenario."""
+
+    def __init__(
+        self,
+        network_builder: Callable[[SeedLike], Sequential],
+        dataset: Dataset,
+        config: Optional[FrameworkConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.network_builder = network_builder
+        self.dataset = dataset
+        self.config = config if config is not None else FrameworkConfig()
+        # One fixed entropy value; every subsystem stream is derived
+        # from (entropy, purpose-key) so results are independent of the
+        # order in which scenarios are run.
+        self._entropy = int(ensure_rng(seed).integers(0, 2**63 - 1))
+        #: Trained models cached per training style so T+T and T+AT (or
+        #: ST+T and ST+AT) share identical software weights.
+        self._trained: Dict[bool, Sequential] = {}
+        self._software_accuracy: Dict[bool, float] = {}
+
+    # -- training ---------------------------------------------------------
+    def trained_model(self, skewed: bool) -> Sequential:
+        """Train (once) and cache the model for a training style."""
+        if skewed not in self._trained:
+            model = self.network_builder(derive_rng(self._entropy, f"train-{skewed}"))
+            if skewed:
+                skewed_train(model, self.dataset, self.config.skewed)
+            else:
+                train_baseline(model, self.dataset, self.config.train)
+            self._trained[skewed] = model
+            self._software_accuracy[skewed] = model.score(
+                self.dataset.x_test, self.dataset.y_test
+            )
+        return self._trained[skewed]
+
+    def software_accuracy(self, skewed: bool) -> float:
+        """Test accuracy of the (cached) software model."""
+        self.trained_model(skewed)
+        return self._software_accuracy[skewed]
+
+    # -- tuning set ----------------------------------------------------------
+    def _tuning_set(self):
+        n = min(self.config.tune_samples, self.dataset.n_train)
+        return self.dataset.x_train[:n], self.dataset.y_train[:n]
+
+    def _resolve_target(self, skewed: bool) -> float:
+        if self.config.absolute_target:
+            return self.config.lifetime.tuning.target_accuracy
+        return self.config.target_fraction * self.software_accuracy(skewed)
+
+    # -- scenario execution -----------------------------------------------------
+    def run_scenario(self, scenario: Scenario | str, repeat: int = 0) -> LifetimeResult:
+        """Run one scenario's full lifetime simulation.
+
+        ``repeat`` selects an independent hardware/tuning seed stream
+        (the trained software weights are shared across repeats);
+        lifetime is a heavy-tailed quantity, so experiments should
+        aggregate a few repeats — see :meth:`run_scenario_repeats`.
+        """
+        if isinstance(scenario, str):
+            try:
+                scenario = SCENARIOS[scenario]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}"
+                ) from None
+        if repeat < 0:
+            raise ConfigurationError(f"repeat must be >= 0, got {repeat}")
+        cfg = self.config
+        model = clone_model(self.trained_model(scenario.skewed_training))
+        network = MappedNetwork(
+            model,
+            device_config=cfg.device,
+            tile_rows=cfg.tile_rows,
+            tile_cols=cfg.tile_cols,
+            trace_block=cfg.trace_block,
+            seed=derive_rng(self._entropy, f"hw-{scenario.key}-{repeat}"),
+        )
+        x_tune, y_tune = self._tuning_set()
+
+        lifetime_cfg = LifetimeConfig(
+            apps_per_window=cfg.lifetime.apps_per_window,
+            drift_magnitude=cfg.lifetime.drift_magnitude,
+            max_windows=cfg.lifetime.max_windows,
+            tuning=cfg.lifetime.tuning,
+        )
+        lifetime_cfg.tuning.target_accuracy = min(
+            0.999, max(1e-6, self._resolve_target(scenario.skewed_training))
+        )
+
+        simulator = LifetimeSimulator(
+            network,
+            x_tune,
+            y_tune,
+            config=lifetime_cfg,
+            aging_aware=scenario.aging_aware_mapping,
+            mapper=AgingAwareMapper() if scenario.aging_aware_mapping else None,
+            seed=derive_rng(self._entropy, f"tune-{scenario.key}-{repeat}"),
+        )
+        result = simulator.run(scenario.key)
+        result.software_accuracy = self.software_accuracy(scenario.skewed_training)
+        return result
+
+    def run_scenario_repeats(
+        self, scenario: Scenario | str, repeats: int = 3
+    ) -> list[LifetimeResult]:
+        """Run ``repeats`` independent hardware instantiations.
+
+        The software training is shared (cached); only the hardware and
+        tuning randomness differ, mirroring one chip design deployed on
+        several dies.
+        """
+        if repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+        return [self.run_scenario(scenario, repeat=i) for i in range(repeats)]
+
+    def compare(
+        self, scenario_keys=("t+t", "st+t", "st+at"), repeats: int = 1
+    ) -> ScenarioComparison:
+        """Run several scenarios and collect a Table-I-style comparison.
+
+        With ``repeats > 1`` each scenario's stored result is the one
+        with the **median** lifetime among its repeats.
+        """
+        comparison = ScenarioComparison(workload=self.dataset.name)
+        for key in scenario_keys:
+            results = self.run_scenario_repeats(key, repeats=repeats)
+            results.sort(key=lambda r: r.lifetime_applications)
+            comparison.add(results[len(results) // 2])
+        return comparison

@@ -1,0 +1,152 @@
+"""Lifetime simulation engine — the paper's Section V methodology.
+
+The crossbar's life is a sequence of *application windows*.  During a
+window the array performs ``apps_per_window`` inference applications;
+repeated reading drifts the programmed conductances (the recoverable
+effect of the paper's ref [8]).  At the end of each window the
+controller restores accuracy with a **remap + online-tune** cycle:
+
+1. re-map the trained weights under the scenario's mapping policy
+   (fresh range for T+T/ST+T, aging-aware common-range selection for
+   ST+AT) — every reprogrammed device takes programming pulses and ages;
+2. online-tune with sign pulses until the target accuracy is reached.
+
+The crossbar **fails** at the first window whose tuning cannot reach
+the target within the iteration budget (150 in the paper).  Lifetime is
+the number of applications completed before that window — Fig. 10's
+x-axis position of the iteration-count knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.results import LifetimeResult, WindowRecord
+from repro.exceptions import ConfigurationError
+from repro.mapping.aging_aware import AgingAwareMapper
+from repro.mapping.fresh import FreshMapper
+from repro.mapping.network import MappedNetwork
+from repro.tuning.online import OnlineTuner, TuningConfig
+
+
+@dataclass
+class LifetimeConfig:
+    """Knobs of the lifetime simulation.
+
+    Attributes
+    ----------
+    apps_per_window:
+        Inference applications per window.  The paper simulates
+        4x10^7 applications total; we default to laptop-scale windows —
+        lifetime *ratios* between scenarios are scale-invariant (see
+        DESIGN.md §2).
+    drift_magnitude:
+        Lognormal sigma of the per-window read-disturb drift that forces
+        the remap + retune cycle.
+    max_windows:
+        Safety horizon: stop after this many windows even without
+        failure (result is then marked ``failed=False``).
+    tuning:
+        Online-tuning configuration (budget of 150 iterations etc.).
+    """
+
+    apps_per_window: int = 10_000
+    drift_magnitude: float = 0.06
+    max_windows: int = 200
+    tuning: TuningConfig = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.tuning is None:
+            self.tuning = TuningConfig()
+        if self.apps_per_window < 1:
+            raise ConfigurationError(
+                f"apps_per_window must be >= 1, got {self.apps_per_window}"
+            )
+        if self.drift_magnitude < 0:
+            raise ConfigurationError(
+                f"drift_magnitude must be >= 0, got {self.drift_magnitude}"
+            )
+        if self.max_windows < 1:
+            raise ConfigurationError(f"max_windows must be >= 1, got {self.max_windows}")
+
+
+class LifetimeSimulator:
+    """Run a mapped network through application windows until failure."""
+
+    def __init__(
+        self,
+        network: MappedNetwork,
+        x_tune: np.ndarray,
+        y_tune: np.ndarray,
+        config: Optional[LifetimeConfig] = None,
+        aging_aware: bool = False,
+        mapper: Optional[AgingAwareMapper] = None,
+        maintenance_hooks=None,
+        seed=None,
+    ) -> None:
+        self.network = network
+        self.x_tune = np.asarray(x_tune, dtype=np.float64)
+        self.y_tune = np.asarray(y_tune, dtype=np.float64)
+        self.config = config if config is not None else LifetimeConfig()
+        self.aging_aware = bool(aging_aware)
+        self.mapper = mapper if mapper is not None else (
+            AgingAwareMapper() if aging_aware else None
+        )
+        #: Callables invoked with the network before each remap — the
+        #: extension point for wear-levelling policies such as
+        #: :class:`repro.mitigation.row_swap.RowSwapper.apply_to_network`.
+        self.maintenance_hooks = list(maintenance_hooks or [])
+        self.tuner = OnlineTuner(self.config.tuning, seed=seed)
+
+    def _remap(self) -> None:
+        if self.aging_aware:
+            self.network.map_network(
+                self.mapper, selection_data=(self.x_tune, self.y_tune)
+            )
+        else:
+            self.network.map_network(FreshMapper())
+
+    def run(self, scenario_key: str = "custom") -> LifetimeResult:
+        """Simulate windows until tuning fails or the horizon is reached."""
+        cfg = self.config
+        result = LifetimeResult(
+            scenario_key=scenario_key,
+            lifetime_applications=0,
+            failed=False,
+            target_accuracy=cfg.tuning.target_accuracy,
+        )
+        applications = 0
+        for window in range(cfg.max_windows):
+            # The window's applications happen first; the array drifts.
+            applications += cfg.apps_per_window
+            self.network.apply_drift(cfg.drift_magnitude)
+
+            # Maintenance cycle: hooks (wear levelling) + remap + tune.
+            for hook in self.maintenance_hooks:
+                hook(self.network)
+            self._remap()
+            tuning = self.tuner.tune(self.network, self.x_tune, self.y_tune)
+
+            record = WindowRecord(
+                window_index=window,
+                applications_total=applications,
+                tuning_iterations=tuning.iterations,
+                converged=tuning.converged,
+                accuracy_after=tuning.final_accuracy,
+                pulses_total=self.network.total_pulses(),
+                dead_fraction=self.network.dead_fraction(),
+                aged_upper_by_layer=self.network.aging_by_layer(),
+            )
+            result.windows.append(record)
+
+            if not tuning.converged:
+                # The maintenance cycle failed: the applications of this
+                # window could not be completed at target accuracy.
+                result.failed = True
+                result.lifetime_applications = applications - cfg.apps_per_window
+                return result
+            result.lifetime_applications = applications
+        return result

@@ -1,0 +1,74 @@
+"""Result records of the lifetime engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class WindowRecord:
+    """One application window (inference + drift + remap + tune)."""
+
+    window_index: int
+    applications_total: int
+    tuning_iterations: int
+    converged: bool
+    accuracy_after: float
+    pulses_total: int
+    dead_fraction: float
+    #: Mean aged upper resistance bound per mapped layer index.
+    aged_upper_by_layer: Dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class LifetimeResult:
+    """Full trajectory of one scenario until failure (or horizon)."""
+
+    scenario_key: str
+    lifetime_applications: int
+    failed: bool
+    windows: List[WindowRecord] = field(default_factory=list)
+    software_accuracy: float = 0.0
+    target_accuracy: float = 0.0
+
+    @property
+    def windows_survived(self) -> int:
+        """Number of windows completed before failure."""
+        return sum(1 for w in self.windows if w.converged)
+
+    def iteration_trace(self) -> List[int]:
+        """Tuning iterations per window (the Fig. 10 series)."""
+        return [w.tuning_iterations for w in self.windows]
+
+    def layer_aging_trace(self) -> Dict[int, List[float]]:
+        """Per-layer aged-upper-bound trajectory (the Fig. 11 series)."""
+        out: Dict[int, List[float]] = {}
+        for w in self.windows:
+            for idx, value in w.aged_upper_by_layer.items():
+                out.setdefault(idx, []).append(value)
+        return out
+
+
+@dataclass
+class ScenarioComparison:
+    """Table-I-style comparison of scenarios on one workload."""
+
+    workload: str
+    results: Dict[str, LifetimeResult] = field(default_factory=dict)
+    baseline_key: str = "t+t"
+
+    def add(self, result: LifetimeResult) -> None:
+        self.results[result.scenario_key] = result
+
+    def lifetime(self, key: str) -> int:
+        return self.results[key].lifetime_applications
+
+    def improvement(self, key: str) -> Optional[float]:
+        """Lifetime ratio vs the baseline scenario (None if missing)."""
+        if self.baseline_key not in self.results or key not in self.results:
+            return None
+        base = self.results[self.baseline_key].lifetime_applications
+        if base == 0:
+            return float("inf")
+        return self.results[key].lifetime_applications / base

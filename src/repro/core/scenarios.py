@@ -1,0 +1,39 @@
+"""The three evaluation scenarios of the paper's Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A (training style, mapping policy) pair.
+
+    ``skewed_training`` selects the Section IV-A two-segment regularizer
+    during software training; ``aging_aware_mapping`` selects the
+    Section IV-B common-range selection during every remap.
+    """
+
+    key: str
+    label: str
+    skewed_training: bool
+    aging_aware_mapping: bool
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ConfigurationError("scenario key must be non-empty")
+
+
+#: Traditional training + online tuning (the baseline).
+T_T = Scenario("t+t", "T+T", skewed_training=False, aging_aware_mapping=False)
+#: Skewed training + online tuning.
+ST_T = Scenario("st+t", "ST+T", skewed_training=True, aging_aware_mapping=False)
+#: Skewed training + aging-aware mapping + online tuning (full framework).
+ST_AT = Scenario("st+at", "ST+AT", skewed_training=True, aging_aware_mapping=True)
+#: Traditional training + aging-aware mapping (extra ablation point, not
+#: in the paper's table but useful to isolate the mapping contribution).
+T_AT = Scenario("t+at", "T+AT", skewed_training=False, aging_aware_mapping=True)
+
+SCENARIOS = {s.key: s for s in (T_T, ST_T, ST_AT, T_AT)}

@@ -1,0 +1,107 @@
+"""Parameter-sweep orchestration.
+
+The ablation studies all share one shape: vary a parameter, rebuild the
+relevant object, measure a few scalars, tabulate.  :class:`Sweep`
+factors that out with deterministic per-point seeds and failure
+isolation (one exploding point does not lose the rest of the sweep).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.ascii import render_table
+from repro.exceptions import ConfigurationError
+from repro.rng import derive_rng, ensure_rng
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated sweep point."""
+
+    value: Any
+    metrics: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, with tabulation helpers."""
+
+    parameter: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def successful(self) -> List[SweepPoint]:
+        return [p for p in self.points if p.ok]
+
+    def metric(self, name: str) -> List[float]:
+        """Values of one metric across successful points (in order)."""
+        return [p.metrics[name] for p in self.successful()]
+
+    def values(self) -> List[Any]:
+        return [p.value for p in self.successful()]
+
+    def to_table(self, title: str = "") -> str:
+        """Render as an aligned text table."""
+        ok = self.successful()
+        if not ok:
+            return f"{title}\n(no successful points)"
+        metric_names = sorted(ok[0].metrics)
+        headers = [self.parameter, *metric_names, "time (s)"]
+        rows = []
+        for p in self.points:
+            if p.ok:
+                rows.append(
+                    [p.value, *(f"{p.metrics[m]:.4g}" for m in metric_names),
+                     f"{p.seconds:.1f}"]
+                )
+            else:
+                rows.append([p.value, *("ERROR" for _ in metric_names), f"{p.seconds:.1f}"])
+        return render_table(headers, rows, title=title)
+
+
+class Sweep:
+    """Evaluate ``fn(value, rng)`` over a sequence of parameter values.
+
+    ``fn`` returns a ``{metric_name: float}`` dict.  Each point gets a
+    generator derived from ``(seed, parameter, repr(value))`` so adding
+    or reordering points never changes another point's stream.
+    """
+
+    def __init__(self, parameter: str, fn: Callable[[Any, Any], Dict[str, float]],
+                 seed=0) -> None:
+        if not parameter:
+            raise ConfigurationError("parameter name must be non-empty")
+        self.parameter = parameter
+        self.fn = fn
+        self._entropy = int(ensure_rng(seed).integers(0, 2**63 - 1))
+
+    def run(self, values: Sequence[Any], fail_fast: bool = False) -> SweepResult:
+        """Evaluate all ``values``; errors are captured per point."""
+        result = SweepResult(parameter=self.parameter)
+        for value in values:
+            rng = derive_rng(self._entropy, f"{self.parameter}={value!r}")
+            start = time.time()
+            point = SweepPoint(value=value)
+            try:
+                metrics = self.fn(value, rng)
+                if not isinstance(metrics, dict):
+                    raise ConfigurationError(
+                        f"sweep fn must return a metrics dict, got {type(metrics)}"
+                    )
+                point.metrics = {k: float(v) for k, v in metrics.items()}
+            except Exception:
+                if fail_fast:
+                    raise
+                point.error = traceback.format_exc(limit=3)
+            point.seconds = time.time() - start
+            result.points.append(point)
+        return result

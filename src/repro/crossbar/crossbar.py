@@ -1,0 +1,267 @@
+"""Array-vectorized crossbar of memristors."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.device.config import DeviceConfig
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.rng import SeedLike, ensure_rng
+
+
+class Crossbar:
+    """A ``rows x cols`` array of memristors with shared device config.
+
+    The electrical model follows the paper's Fig. 1: input voltages are
+    applied on the rows, each column ``j`` collects the current
+    ``I_j = sum_i V_i * g_ij`` and a transimpedance stage converts it to
+    ``V_out_j = I_j * r_tia``.
+
+    Aging bookkeeping is per device: every programming pulse adds
+    ``pulse_width`` seconds of stress to the touched devices, and the
+    aged window of each device follows Eq. (6)–(7) of the paper.  A
+    device whose window has collapsed is *dead*: it stays at its pinned
+    resistance and ignores further programming (the array keeps
+    operating with whatever value is stuck there — matching how a real
+    array fails gradually rather than atomically).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        config: Optional[DeviceConfig] = None,
+        r_tia: float = 1e3,
+        seed: SeedLike = None,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ConfigurationError(f"crossbar shape must be positive, got {rows}x{cols}")
+        if r_tia <= 0:
+            raise ConfigurationError(f"r_tia must be > 0, got {r_tia}")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.config = config if config is not None else DeviceConfig()
+        self.r_tia = float(r_tia)
+        self.grid = self.config.make_level_grid()
+        self.aging = self.config.make_aging_model()
+        self._rng = ensure_rng(seed)
+
+        shape = (self.rows, self.cols)
+        if self.config.variability is not None:
+            lo, hi = self.config.variability.sample_bounds(
+                self.config.r_min, self.config.r_max, shape, self._rng
+            )
+            self.r_fresh_min, self.r_fresh_max = lo, hi
+        else:
+            self.r_fresh_min = np.full(shape, self.config.r_min)
+            self.r_fresh_max = np.full(shape, self.config.r_max)
+        #: Per-device programming pulse counters.
+        self.pulse_counts = np.zeros(shape, dtype=np.int64)
+        #: Per-device accumulated stress time (s).
+        self.stress_time = np.zeros(shape, dtype=np.float64)
+        #: Programmed resistances; fresh devices wake up in their HRS.
+        self.resistance = self.r_fresh_max.copy()
+
+    # -- aging state ------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows, self.cols)
+
+    def aged_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-device ``(R_aged,min, R_aged,max)`` arrays."""
+        return self.aging.aged_bounds(
+            self.r_fresh_min, self.r_fresh_max, self.config.temperature, self.stress_time
+        )
+
+    def dead_mask(self) -> np.ndarray:
+        """Devices with fewer than two usable levels left (end-of-life)."""
+        return self.usable_level_counts() < 2
+
+    def dead_fraction(self) -> float:
+        """Fraction of dead devices in the array."""
+        return float(np.mean(self.dead_mask()))
+
+    def usable_level_counts(self) -> np.ndarray:
+        """Per-device number of surviving quantized levels."""
+        lo, hi = self.aged_bounds()
+        return self.grid.usable_count(lo, hi)
+
+    def total_pulses(self) -> int:
+        """Sum of all programming pulses ever applied to the array."""
+        return int(self.pulse_counts.sum())
+
+    # -- programming -----------------------------------------------------------
+    def _apply_stress(self, mask: np.ndarray, at_resistance: np.ndarray) -> None:
+        """Accrue one pulse of stress on masked devices.
+
+        The stress contribution of a pulse scales with the programming
+        current through the device (``DeviceConfig.stress_factor``):
+        devices sitting at large resistance age slower — the physical
+        lever of the skewed training.
+        """
+        self.pulse_counts[mask] += 1
+        factor = self.config.stress_factor(at_resistance)
+        self.stress_time[mask] += self.config.pulse_width * factor[mask]
+
+    def program(
+        self,
+        targets: np.ndarray,
+        only_changed: bool = True,
+    ) -> np.ndarray:
+        """Program the whole array towards ``targets`` (resistances).
+
+        Each *selected* device receives one programming pulse (stress),
+        then lands on the nearest usable fresh-grid level inside its
+        aged window, plus write noise.  With ``only_changed=True``
+        (default) devices already within half a level step of their
+        target are skipped — they receive no pulse and keep their value,
+        modelling a program-and-verify controller that does not pulse
+        devices that are already correct.
+
+        Dead devices are never pulsed and keep their pinned value.
+        Returns the achieved resistance matrix.
+        """
+        targets = np.asarray(targets, dtype=np.float64)
+        if targets.shape != self.shape:
+            raise ShapeError(f"targets shape {targets.shape} != crossbar {self.shape}")
+        if np.any(targets <= 0):
+            raise ConfigurationError("target resistances must be > 0")
+
+        alive = ~self.dead_mask()
+        if only_changed:
+            needs = np.abs(targets - self.resistance) > 0.5 * self.grid.step
+            select = alive & needs
+        else:
+            select = alive
+        # Stress scales with the current at the programmed target: the
+        # pulse drives the device towards (and holds it at) the target
+        # resistance, so the target sets the dissipated power.
+        self._apply_stress(select, np.clip(targets, self.grid.r_min * 0.1, None))
+
+        lo, hi = self.aged_bounds()
+        achieved = self.grid.quantize(targets, lo, hi)
+        if self.config.write_noise > 0:
+            noise = self._rng.normal(
+                0.0, self.config.write_noise * self.grid.step, size=self.shape
+            )
+            achieved = np.clip(achieved + noise, lo, hi)
+        self.resistance = np.where(select, achieved, self.resistance)
+        return self.resistance.copy()
+
+    def step_levels(self, directions: np.ndarray) -> np.ndarray:
+        """Apply one ±1-level tuning pulse per selected device.
+
+        ``directions`` holds -1/0/+1 per device (the sign of Eq. (5));
+        nonzero entries receive one pulse and move one level step,
+        clipped to their aged window.  Dead devices ignore pulses.
+        Returns the new resistance matrix.
+        """
+        directions = np.asarray(directions)
+        if directions.shape != self.shape:
+            raise ShapeError(f"directions shape {directions.shape} != crossbar {self.shape}")
+        if not np.all(np.isin(directions, (-1, 0, 1))):
+            raise ConfigurationError("directions must contain only -1, 0, 1")
+
+        select = (directions != 0) & ~self.dead_mask()
+        self._apply_stress(select, self.resistance)
+        lo, hi = self.aged_bounds()
+        stepped = self.resistance + directions * self.grid.step
+        if self.config.write_noise > 0:
+            stepped = stepped + self._rng.normal(
+                0.0, self.config.write_noise * self.grid.step, size=self.shape
+            )
+        stepped = np.clip(stepped, lo, hi)
+        self.resistance = np.where(select, stepped, self.resistance)
+        return self.resistance.copy()
+
+    def step_conductance(self, directions: np.ndarray, fraction: float = 0.5) -> np.ndarray:
+        """Apply one constant-amplitude tuning pulse per selected device.
+
+        Unlike :meth:`step_levels` (which jumps a full *resistance*
+        level — the mapping granularity), a tuning pulse modulates the
+        filament and moves the **conductance** by an approximately
+        constant increment: ``fraction`` of the mean conductance spacing
+        ``(g_max - g_min)/(n_levels - 1)``.  ``directions`` holds
+        -1/0/+1 in the *conductance* domain (+1 grows the filament).
+        This is the Eq. (5) hardware primitive: polarity from the
+        gradient sign, amplitude constant.  Clipped to the aged window;
+        dead devices ignore pulses.  Returns the new resistances.
+        """
+        directions = np.asarray(directions)
+        if directions.shape != self.shape:
+            raise ShapeError(f"directions shape {directions.shape} != crossbar {self.shape}")
+        if not np.all(np.isin(directions, (-1, 0, 1))):
+            raise ConfigurationError("directions must contain only -1, 0, 1")
+        if fraction <= 0:
+            raise ConfigurationError(f"fraction must be > 0, got {fraction}")
+
+        select = (directions != 0) & ~self.dead_mask()
+        self._apply_stress(select, self.resistance)
+        g_step = fraction * (self.config.g_max - self.config.g_min) / (self.grid.n_levels - 1)
+        g_new = 1.0 / self.resistance + directions * g_step
+        if self.config.write_noise > 0:
+            g_new = g_new + self._rng.normal(
+                0.0, self.config.write_noise * g_step, size=self.shape
+            )
+        lo, hi = self.aged_bounds()
+        # Convert back to resistance; keep conductance positive first.
+        g_new = np.maximum(g_new, 1.0 / np.maximum(hi, 1.0))
+        stepped = np.clip(1.0 / g_new, lo, hi)
+        self.resistance = np.where(select, stepped, self.resistance)
+        return self.resistance.copy()
+
+    def apply_drift(self, magnitude: float, rng: SeedLike = None) -> np.ndarray:
+        """Conductance drift from repeated reading (paper's ref [8]).
+
+        Unlike aging, drift is *recoverable* by reprogramming and adds
+        no stress: each programmed resistance takes a lognormal
+        multiplicative step of shape ``magnitude`` and is clipped back
+        into the device's aged window.  The lifetime engine applies this
+        after every application window, which is what forces the
+        periodic remap + retune cycle.
+        """
+        if magnitude < 0:
+            raise ConfigurationError(f"drift magnitude must be >= 0, got {magnitude}")
+        if magnitude == 0:
+            return self.resistance.copy()
+        gen = ensure_rng(rng) if rng is not None else self._rng
+        factors = gen.lognormal(0.0, magnitude, size=self.shape)
+        lo, hi = self.aged_bounds()
+        self.resistance = np.clip(self.resistance * factors, lo, hi)
+        return self.resistance.copy()
+
+    # -- read-out ---------------------------------------------------------------
+    def read_resistances(self) -> np.ndarray:
+        """Resistance read-out (with read noise if configured)."""
+        if self.config.read_noise <= 0:
+            return self.resistance.copy()
+        noisy = self.resistance * (
+            1.0 + self._rng.normal(0.0, self.config.read_noise, size=self.shape)
+        )
+        return np.maximum(noisy, 1e-3)
+
+    def conductances(self) -> np.ndarray:
+        """Programmed conductance matrix ``G`` (noise-free)."""
+        return 1.0 / self.resistance
+
+    def vmm(self, v_in: np.ndarray) -> np.ndarray:
+        """Analog vector-matrix multiply ``V_O = V_I · G · R_tia``.
+
+        ``v_in`` may be a single vector ``(rows,)`` or a batch
+        ``(batch, rows)``.
+        """
+        v_in = np.asarray(v_in, dtype=np.float64)
+        if v_in.shape[-1] != self.rows:
+            raise ShapeError(
+                f"input width {v_in.shape[-1]} != crossbar rows {self.rows}"
+            )
+        g = 1.0 / self.read_resistances()
+        return v_in @ g * self.r_tia
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Crossbar({self.rows}x{self.cols}, pulses={self.total_pulses()}, "
+            f"dead={self.dead_fraction():.1%})"
+        )

@@ -1,0 +1,73 @@
+"""Analog interface peripherals: input DAC and output TIA/ADC.
+
+The crossbar itself computes in the analog domain; real systems bound
+its interface with data converters.  These models are deliberately
+simple — uniform quantization with saturation — but they make the
+end-to-end examples honest about interface precision and give the test
+suite a place to pin down converter behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class InputDriver:
+    """DAC driving the crossbar rows.
+
+    Quantizes input values to ``bits`` uniform codes over
+    ``[-v_max, v_max]`` (or ``[0, v_max]`` when ``bipolar=False``) and
+    saturates outside the range.
+    """
+
+    def __init__(self, bits: int = 8, v_max: float = 1.0, bipolar: bool = True) -> None:
+        if bits < 1:
+            raise ConfigurationError(f"bits must be >= 1, got {bits}")
+        if v_max <= 0:
+            raise ConfigurationError(f"v_max must be > 0, got {v_max}")
+        self.bits = int(bits)
+        self.v_max = float(v_max)
+        self.bipolar = bool(bipolar)
+
+    @property
+    def n_codes(self) -> int:
+        """Number of distinct output voltages."""
+        return 2**self.bits
+
+    def convert(self, x: np.ndarray) -> np.ndarray:
+        """Quantize ``x`` to DAC voltage codes."""
+        x = np.asarray(x, dtype=np.float64)
+        lo = -self.v_max if self.bipolar else 0.0
+        clipped = np.clip(x, lo, self.v_max)
+        step = (self.v_max - lo) / (self.n_codes - 1)
+        return lo + np.rint((clipped - lo) / step) * step
+
+
+class OutputConverter:
+    """TIA + ADC on the crossbar columns.
+
+    Converts column currents to voltages via ``r_tia`` and quantizes to
+    ``bits`` codes over ``[-v_full_scale, v_full_scale]``.
+    """
+
+    def __init__(self, bits: int = 8, r_tia: float = 1e3, v_full_scale: float = 1.0) -> None:
+        if bits < 1:
+            raise ConfigurationError(f"bits must be >= 1, got {bits}")
+        if r_tia <= 0 or v_full_scale <= 0:
+            raise ConfigurationError("r_tia and v_full_scale must be > 0")
+        self.bits = int(bits)
+        self.r_tia = float(r_tia)
+        self.v_full_scale = float(v_full_scale)
+
+    @property
+    def n_codes(self) -> int:
+        return 2**self.bits
+
+    def convert(self, currents: np.ndarray) -> np.ndarray:
+        """Currents → quantized output voltages."""
+        v = np.asarray(currents, dtype=np.float64) * self.r_tia
+        clipped = np.clip(v, -self.v_full_scale, self.v_full_scale)
+        step = 2.0 * self.v_full_scale / (self.n_codes - 1)
+        return -self.v_full_scale + np.rint((clipped + self.v_full_scale) / step) * step

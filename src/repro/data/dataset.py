@@ -1,0 +1,134 @@
+"""Dataset container and split/encoding helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.rng import SeedLike, ensure_rng
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """One-hot encode an integer label vector.
+
+    >>> one_hot(np.array([0, 2]), 3).tolist()
+    [[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]]
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ConfigurationError(
+            f"labels out of range [0, {n_classes}): [{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.shape[0], n_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split into ``(x_train, y_train, x_test, y_test)``."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigurationError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if len(x) != len(y):
+        raise ShapeError(f"x has {len(x)} samples, y has {len(y)}")
+    rng = ensure_rng(seed)
+    order = rng.permutation(len(x))
+    n_test = max(1, int(round(test_fraction * len(x))))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]
+
+
+@dataclass
+class Dataset:
+    """A labelled classification dataset with train/test partitions.
+
+    ``x_*`` arrays keep their natural shape (NCHW images or flat
+    vectors); ``y_*`` are one-hot.  ``class_names`` is optional metadata
+    used in reports.
+    """
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    class_names: List[str] = field(default_factory=list)
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        if len(self.x_train) != len(self.y_train):
+            raise ShapeError("x_train/y_train length mismatch")
+        if len(self.x_test) != len(self.y_test):
+            raise ShapeError("x_test/y_test length mismatch")
+        if self.y_train.ndim != 2:
+            raise ShapeError("y_train must be one-hot (2-D)")
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes (width of the one-hot labels)."""
+        return int(self.y_train.shape[1])
+
+    @property
+    def sample_shape(self) -> Tuple[int, ...]:
+        """Shape of one input sample (no batch dim)."""
+        return tuple(self.x_train.shape[1:])
+
+    @property
+    def n_train(self) -> int:
+        return int(len(self.x_train))
+
+    @property
+    def n_test(self) -> int:
+        return int(len(self.x_test))
+
+    def batches(
+        self, batch_size: int, shuffle: bool = True, seed: SeedLike = None
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate minibatches of the training partition."""
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        rng = ensure_rng(seed)
+        order = rng.permutation(self.n_train) if shuffle else np.arange(self.n_train)
+        for start in range(0, self.n_train, batch_size):
+            idx = order[start : start + batch_size]
+            yield self.x_train[idx], self.y_train[idx]
+
+    def subset(self, n_train: int, n_test: Optional[int] = None) -> "Dataset":
+        """First-``n`` subset (useful for fast tests)."""
+        n_test = n_test if n_test is not None else self.n_test
+        return Dataset(
+            x_train=self.x_train[:n_train],
+            y_train=self.y_train[:n_train],
+            x_test=self.x_test[:n_test],
+            y_test=self.y_test[:n_test],
+            class_names=self.class_names,
+            name=f"{self.name}[:{n_train}]",
+        )
+
+    def normalized(self) -> "Dataset":
+        """Zero-mean/unit-std copy using *training* statistics."""
+        mean = self.x_train.mean()
+        std = self.x_train.std() or 1.0
+        return Dataset(
+            x_train=(self.x_train - mean) / std,
+            y_train=self.y_train,
+            x_test=(self.x_test - mean) / std,
+            y_test=self.y_test,
+            class_names=self.class_names,
+            name=self.name,
+        )
+
+    def describe(self) -> str:
+        """One-line summary used by the benchmark harness."""
+        return (
+            f"{self.name}: {self.n_train} train / {self.n_test} test, "
+            f"{self.n_classes} classes, sample shape {self.sample_shape}"
+        )

@@ -1,0 +1,36 @@
+"""Memristor device models.
+
+This package implements the physical substrate of the paper:
+
+* :class:`ArrheniusAging` — the Eq. (6)–(7) endurance-degradation model.
+  Every programming pulse adds stress time; the valid resistance window
+  ``[R_min, R_max]`` shrinks (both bounds decrease, the upper bound
+  faster), exactly the Fig. 4 scenario.
+* :class:`LevelGrid` — uniformly spaced *resistance* levels whose
+  reciprocal conductance levels crowd towards small conductances
+  (Fig. 3), the asymmetry the skewed training exploits.
+* :class:`Memristor` — a single programmable cell with aging, write and
+  read noise; used directly in unit tests and as the traced
+  representative device.
+* :class:`DeviceVariability` — lognormal device-to-device spread of the
+  fresh resistance window.
+
+Array-oriented helpers mirror the scalar API so the crossbar simulator
+can age thousands of devices without Python-level loops.
+"""
+
+from repro.device.aging import AgingParams, ArrheniusAging, BOLTZMANN_EV
+from repro.device.config import DeviceConfig
+from repro.device.levels import LevelGrid
+from repro.device.memristor import Memristor
+from repro.device.variability import DeviceVariability
+
+__all__ = [
+    "AgingParams",
+    "ArrheniusAging",
+    "BOLTZMANN_EV",
+    "DeviceConfig",
+    "DeviceVariability",
+    "LevelGrid",
+    "Memristor",
+]

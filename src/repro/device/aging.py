@@ -1,0 +1,221 @@
+"""Arrhenius-based endurance (aging) model — paper Eq. (6)–(7).
+
+The paper models the aged resistance window of a memristor as::
+
+    R_aged,max = R_fresh,max - f(T, t)          (6)
+    R_aged,min = R_fresh,min - g(T, t)          (7)
+
+where ``T`` is temperature, ``t`` the accumulated programming-stress
+time, and both aging functions are *Arrhenius-based* (its refs [17],
+[18]) with parameters extracted from measurements.  We use the standard
+thermally activated power-law form::
+
+    f(T, t) = A_max * exp(-Ea_max / (kB * T)) * t**m_max
+    g(T, t) = A_min * exp(-Ea_min / (kB * T)) * t**m_min
+
+With ``f`` growing faster than ``g`` the window shrinks from the top:
+high-resistance levels disappear first while the original lower bound
+stays inside the aged window — the paper's common aging scenario
+(Fig. 4, Section III).
+
+Absolute constants are not published in the paper, so
+:meth:`AgingParams.calibrated` derives the prefactors from an
+interpretable target: the number of programming pulses at the reference
+temperature after which the window has fully collapsed.  All lifetime
+results downstream are reported as ratios, which are insensitive to this
+absolute scale (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Boltzmann constant in eV/K.
+BOLTZMANN_EV = 8.617333262e-5
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class AgingParams:
+    """Parameters of the two Arrhenius aging functions ``f`` and ``g``.
+
+    Attributes
+    ----------
+    prefactor_max, prefactor_min:
+        ``A_max``/``A_min`` in ohm / s^m — scale of upper/lower bound
+        degradation.
+    activation_energy_max, activation_energy_min:
+        Activation energies ``Ea`` in eV.
+    time_exponent_max, time_exponent_min:
+        Power-law exponents ``m`` on accumulated stress time.
+    """
+
+    prefactor_max: float
+    prefactor_min: float
+    activation_energy_max: float = 0.4
+    activation_energy_min: float = 0.4
+    time_exponent_max: float = 1.0
+    time_exponent_min: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.prefactor_max < 0 or self.prefactor_min < 0:
+            raise ConfigurationError("aging prefactors must be >= 0")
+        if self.activation_energy_max < 0 or self.activation_energy_min < 0:
+            raise ConfigurationError("activation energies must be >= 0")
+        if self.time_exponent_max <= 0 or self.time_exponent_min <= 0:
+            raise ConfigurationError("time exponents must be > 0")
+
+    @classmethod
+    def calibrated(
+        cls,
+        r_fresh_min: float,
+        r_fresh_max: float,
+        pulses_to_collapse: float,
+        pulse_width: float = 1e-6,
+        temperature: float = 300.0,
+        min_bound_fraction: float = 0.25,
+        activation_energy: float = 0.4,
+        time_exponent: float = 1.0,
+    ) -> "AgingParams":
+        """Derive prefactors from an endurance target.
+
+        After ``pulses_to_collapse`` pulses of ``pulse_width`` seconds at
+        ``temperature``, the upper bound has dropped by the full fresh
+        window (total collapse), while the lower bound has dropped by
+        ``min_bound_fraction`` of the window (so the window closes from
+        the top, as in Fig. 4).
+
+        >>> p = AgingParams.calibrated(1e4, 1e5, pulses_to_collapse=1e5)
+        >>> aging = ArrheniusAging(p)
+        >>> t = 1e5 * 1e-6
+        >>> abs(aging.degradation_max(300.0, t) - 9e4) < 1e-6
+        True
+        """
+        if r_fresh_max <= r_fresh_min:
+            raise ConfigurationError(
+                f"need r_fresh_max > r_fresh_min, got {r_fresh_max} <= {r_fresh_min}"
+            )
+        if pulses_to_collapse <= 0 or pulse_width <= 0:
+            raise ConfigurationError("pulses_to_collapse and pulse_width must be > 0")
+        if not 0.0 <= min_bound_fraction < 1.0:
+            raise ConfigurationError(
+                f"min_bound_fraction must be in [0, 1), got {min_bound_fraction}"
+            )
+        window = r_fresh_max - r_fresh_min
+        t_collapse = pulses_to_collapse * pulse_width
+        arrhenius = np.exp(-activation_energy / (BOLTZMANN_EV * temperature))
+        denom = arrhenius * t_collapse**time_exponent
+        return cls(
+            prefactor_max=window / denom,
+            prefactor_min=min_bound_fraction * window / denom,
+            activation_energy_max=activation_energy,
+            activation_energy_min=activation_energy,
+            time_exponent_max=time_exponent,
+            time_exponent_min=time_exponent,
+        )
+
+
+class ArrheniusAging:
+    """Evaluator for the aged resistance window (vectorized).
+
+    All methods accept scalar or array ``stress_time`` so the crossbar
+    simulator can age a whole array in one call.
+    """
+
+    def __init__(self, params: AgingParams) -> None:
+        self.params = params
+
+    def _rate(self, prefactor: float, ea: float, temperature: float) -> float:
+        if temperature <= 0:
+            raise ConfigurationError(f"temperature must be > 0 K, got {temperature}")
+        return prefactor * float(np.exp(-ea / (BOLTZMANN_EV * temperature)))
+
+    def degradation_max(self, temperature: float, stress_time: ArrayLike) -> ArrayLike:
+        """``f(T, t)`` — drop of the upper resistance bound (Eq. 6)."""
+        p = self.params
+        t = np.maximum(np.asarray(stress_time, dtype=np.float64), 0.0)
+        out = self._rate(p.prefactor_max, p.activation_energy_max, temperature) * (
+            t**p.time_exponent_max
+        )
+        return float(out) if np.isscalar(stress_time) else out
+
+    def degradation_min(self, temperature: float, stress_time: ArrayLike) -> ArrayLike:
+        """``g(T, t)`` — drop of the lower resistance bound (Eq. 7)."""
+        p = self.params
+        t = np.maximum(np.asarray(stress_time, dtype=np.float64), 0.0)
+        out = self._rate(p.prefactor_min, p.activation_energy_min, temperature) * (
+            t**p.time_exponent_min
+        )
+        return float(out) if np.isscalar(stress_time) else out
+
+    def aged_bounds(
+        self,
+        r_fresh_min: ArrayLike,
+        r_fresh_max: ArrayLike,
+        temperature: float,
+        stress_time: ArrayLike,
+    ) -> Tuple[ArrayLike, ArrayLike]:
+        """``(R_aged,min, R_aged,max)`` for the given stress history.
+
+        The window is floored at zero width: once
+        ``R_aged,max <= R_aged,min`` the device is dead (its window has
+        collapsed) and both bounds are reported equal — callers detect
+        death via ``aged_max <= aged_min``.
+        """
+        aged_max = np.asarray(r_fresh_max, dtype=np.float64) - self.degradation_max(
+            temperature, stress_time
+        )
+        aged_min = np.asarray(r_fresh_min, dtype=np.float64) - self.degradation_min(
+            temperature, stress_time
+        )
+        # Physical floor: the filament cannot reach zero resistance; a
+        # strictly positive floor also keeps conductance (1/R) finite.
+        aged_min = np.maximum(aged_min, 1.0)
+        aged_max = np.maximum(aged_max, aged_min)
+        if np.isscalar(stress_time) and np.isscalar(r_fresh_min):
+            return float(aged_min), float(aged_max)
+        return aged_min, aged_max
+
+    def stress_time_to_collapse(
+        self, r_fresh_min: float, r_fresh_max: float, temperature: float
+    ) -> float:
+        """Stress time at which the window width reaches zero.
+
+        Solves ``f(T,t) - g(T,t) = window`` analytically when both
+        exponents match; otherwise by bisection.
+        """
+        p = self.params
+        window = r_fresh_max - r_fresh_min
+        if window <= 0:
+            return 0.0
+        rate_f = self._rate(p.prefactor_max, p.activation_energy_max, temperature)
+        rate_g = self._rate(p.prefactor_min, p.activation_energy_min, temperature)
+        if p.time_exponent_max == p.time_exponent_min:
+            net = rate_f - rate_g
+            if net <= 0:
+                return float("inf")
+            return float((window / net) ** (1.0 / p.time_exponent_max))
+        # General case: bisection on a monotone-after-some-point function.
+        def width_drop(t: float) -> float:
+            return rate_f * t**p.time_exponent_max - rate_g * t**p.time_exponent_min
+
+        lo, hi = 0.0, 1.0
+        for _ in range(200):
+            if width_drop(hi) >= window:
+                break
+            hi *= 2.0
+        else:
+            return float("inf")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if width_drop(mid) < window:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)

@@ -1,0 +1,56 @@
+"""Device-to-device variability of the fresh resistance window.
+
+Fabricated memristor arrays show lognormal spread in both switching
+bounds.  :class:`DeviceVariability` samples per-device fresh
+``(r_min, r_max)`` pairs around the nominal window; the crossbar applies
+it once at construction so two crossbars built with the same seed are
+identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class DeviceVariability:
+    """Lognormal spread parameters (sigma of ln R) for the fresh bounds.
+
+    ``sigma_min``/``sigma_max`` are the lognormal shape parameters for
+    the lower/upper bound.  ``min_window_ratio`` guards against sampled
+    windows collapsing: each device keeps at least this fraction of the
+    nominal window width.
+    """
+
+    sigma_min: float = 0.05
+    sigma_max: float = 0.05
+    min_window_ratio: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.sigma_min < 0 or self.sigma_max < 0:
+            raise ConfigurationError("variability sigmas must be >= 0")
+        if not 0.0 < self.min_window_ratio <= 1.0:
+            raise ConfigurationError(
+                f"min_window_ratio must be in (0, 1], got {self.min_window_ratio}"
+            )
+
+    def sample_bounds(
+        self,
+        r_min: float,
+        r_max: float,
+        shape: Tuple[int, ...],
+        seed: SeedLike = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample per-device fresh ``(r_min, r_max)`` arrays of ``shape``."""
+        rng = ensure_rng(seed)
+        lo = r_min * rng.lognormal(0.0, self.sigma_min, size=shape)
+        hi = r_max * rng.lognormal(0.0, self.sigma_max, size=shape)
+        floor = lo + self.min_window_ratio * (r_max - r_min)
+        hi = np.maximum(hi, floor)
+        return lo, hi

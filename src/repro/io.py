@@ -1,0 +1,135 @@
+"""Persistence: model weights and experiment results.
+
+* Model weights go to ``.npz`` (exact float64 round trip).
+* Lifetime results and scenario comparisons go to JSON, so downstream
+  analysis (or the paper tables) can be regenerated without re-running
+  multi-minute simulations.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.core.results import LifetimeResult, ScenarioComparison, WindowRecord
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.model import Sequential
+
+PathLike = Union[str, pathlib.Path]
+
+
+# -- model weights ------------------------------------------------------------
+def save_weights(model: Sequential, path: PathLike) -> None:
+    """Save every layer's parameters to an ``.npz`` archive."""
+    arrays = {}
+    for i, layer in enumerate(model.layers):
+        for name, value in layer.params.items():
+            arrays[f"layer{i}.{name}"] = value
+    np.savez(path, **arrays)
+
+
+def load_weights(model: Sequential, path: PathLike) -> Sequential:
+    """Restore parameters saved by :func:`save_weights` (in place).
+
+    The model must have the same architecture (same layer parameter
+    names and shapes).
+    """
+    with np.load(path) as archive:
+        for i, layer in enumerate(model.layers):
+            for name, param in layer.params.items():
+                key = f"layer{i}.{name}"
+                if key not in archive:
+                    raise ConfigurationError(f"archive missing parameter {key!r}")
+                value = archive[key]
+                if value.shape != param.shape:
+                    raise ShapeError(
+                        f"{key}: archive shape {value.shape} != model {param.shape}"
+                    )
+                param[...] = value
+    return model
+
+
+# -- lifetime results ----------------------------------------------------------
+def _window_to_dict(w: WindowRecord) -> dict:
+    return {
+        "window_index": w.window_index,
+        "applications_total": w.applications_total,
+        "tuning_iterations": w.tuning_iterations,
+        "converged": w.converged,
+        "accuracy_after": w.accuracy_after,
+        "pulses_total": w.pulses_total,
+        "dead_fraction": w.dead_fraction,
+        "aged_upper_by_layer": {str(k): v for k, v in w.aged_upper_by_layer.items()},
+    }
+
+
+def _window_from_dict(d: dict) -> WindowRecord:
+    return WindowRecord(
+        window_index=int(d["window_index"]),
+        applications_total=int(d["applications_total"]),
+        tuning_iterations=int(d["tuning_iterations"]),
+        converged=bool(d["converged"]),
+        accuracy_after=float(d["accuracy_after"]),
+        pulses_total=int(d["pulses_total"]),
+        dead_fraction=float(d["dead_fraction"]),
+        aged_upper_by_layer={int(k): float(v) for k, v in d["aged_upper_by_layer"].items()},
+    )
+
+
+def result_to_dict(result: LifetimeResult) -> dict:
+    """JSON-ready dict of a lifetime result."""
+    return {
+        "scenario_key": result.scenario_key,
+        "lifetime_applications": result.lifetime_applications,
+        "failed": result.failed,
+        "software_accuracy": result.software_accuracy,
+        "target_accuracy": result.target_accuracy,
+        "windows": [_window_to_dict(w) for w in result.windows],
+    }
+
+
+def result_from_dict(d: dict) -> LifetimeResult:
+    """Inverse of :func:`result_to_dict`."""
+    return LifetimeResult(
+        scenario_key=str(d["scenario_key"]),
+        lifetime_applications=int(d["lifetime_applications"]),
+        failed=bool(d["failed"]),
+        software_accuracy=float(d.get("software_accuracy", 0.0)),
+        target_accuracy=float(d.get("target_accuracy", 0.0)),
+        windows=[_window_from_dict(w) for w in d.get("windows", [])],
+    )
+
+
+def save_result(result: LifetimeResult, path: PathLike) -> None:
+    """Write a lifetime result to JSON."""
+    pathlib.Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: PathLike) -> LifetimeResult:
+    """Read a lifetime result from JSON."""
+    return result_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def save_comparison(comparison: ScenarioComparison, path: PathLike) -> None:
+    """Write a scenario comparison to JSON."""
+    payload = {
+        "workload": comparison.workload,
+        "baseline_key": comparison.baseline_key,
+        "results": {k: result_to_dict(r) for k, r in comparison.results.items()},
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_comparison(path: PathLike) -> ScenarioComparison:
+    """Read a scenario comparison from JSON."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    comparison = ScenarioComparison(
+        workload=str(payload["workload"]),
+        baseline_key=str(payload.get("baseline_key", "t+t")),
+    )
+    for key, d in payload.get("results", {}).items():
+        comparison.results[key] = result_from_dict(d)
+    return comparison

@@ -1,0 +1,27 @@
+"""Baseline mapping policy: assume fresh device windows.
+
+This is what the paper's T+T and ST+T scenarios use: the weights are
+mapped onto the *nominal fresh* resistance range regardless of how aged
+the array actually is.  Early in life this is exact; late in life the
+aged windows no longer contain the high-resistance targets, the achieved
+conductances deviate, and online tuning has to burn many iterations (and
+pulses) to recover — the failure spiral of Section III.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class FreshMapper:
+    """Select the nominal fresh window as the common mapping range."""
+
+    name = "fresh"
+
+    def select_range(self, layer) -> Tuple[float, float]:
+        """Common resistance range for ``layer`` (a MappedLayer)."""
+        cfg = layer.device_config
+        return cfg.r_min, cfg.r_max
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "FreshMapper()"

@@ -1,0 +1,105 @@
+"""Linear weight-to-conductance mapping — paper Eq. (4).
+
+The mapping is affine in the *conductance* domain::
+
+    g = (g_max - g_min) / (w_max - w_min) * (w - w_min) + g_min
+
+so the largest weight maps to the largest conductance (smallest
+resistance).  A common ``[g_min, g_max]`` range is used for a whole
+array because the column currents must sum linearly.
+
+The induced map in the *resistance* domain is the reciprocal, which is
+what the programming circuitry actually targets (Section II-B: "the
+resistances are usually programmed instead").
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class LinearWeightMapping:
+    """Bidirectional affine map between weights and conductances."""
+
+    def __init__(self, w_min: float, w_max: float, g_min: float, g_max: float) -> None:
+        if w_max <= w_min:
+            raise ConfigurationError(f"need w_max > w_min, got {w_max} <= {w_min}")
+        if g_min <= 0 or g_max <= g_min:
+            raise ConfigurationError(
+                f"need 0 < g_min < g_max, got g_min={g_min}, g_max={g_max}"
+            )
+        self.w_min = float(w_min)
+        self.w_max = float(w_max)
+        self.g_min = float(g_min)
+        self.g_max = float(g_max)
+
+    @classmethod
+    def from_weights(
+        cls, weights: np.ndarray, g_min: float, g_max: float
+    ) -> "LinearWeightMapping":
+        """Build the map from the observed weight range of ``weights``.
+
+        Degenerate (constant) weight matrices get a symmetric ±1 range
+        so the map stays invertible.
+        """
+        w = np.asarray(weights, dtype=np.float64)
+        w_min, w_max = float(w.min()), float(w.max())
+        if w_max <= w_min:
+            w_min, w_max = w_min - 1.0, w_max + 1.0
+        return cls(w_min, w_max, g_min, g_max)
+
+    @classmethod
+    def from_resistance_range(
+        cls, weights: np.ndarray, r_min: float, r_max: float
+    ) -> "LinearWeightMapping":
+        """Build from a resistance window (``g = 1/r``)."""
+        if r_min <= 0 or r_max <= r_min:
+            raise ConfigurationError(f"invalid resistance range [{r_min}, {r_max}]")
+        return cls.from_weights(weights, g_min=1.0 / r_max, g_max=1.0 / r_min)
+
+    # -- forward -------------------------------------------------------
+    @property
+    def slope(self) -> float:
+        """dg/dw of the affine map (always positive)."""
+        return (self.g_max - self.g_min) / (self.w_max - self.w_min)
+
+    def weight_to_conductance(self, w: ArrayLike) -> ArrayLike:
+        """Eq. (4): weights → target conductances (clipped to range)."""
+        w = np.clip(np.asarray(w, dtype=np.float64), self.w_min, self.w_max)
+        g = self.slope * (w - self.w_min) + self.g_min
+        return float(g) if np.isscalar(w) or g.ndim == 0 else g
+
+    def weight_to_resistance(self, w: ArrayLike) -> ArrayLike:
+        """Weights → target resistances (what gets programmed)."""
+        g = self.weight_to_conductance(w)
+        return 1.0 / g
+
+    # -- inverse -----------------------------------------------------------
+    def conductance_to_weight(self, g: ArrayLike) -> ArrayLike:
+        """Invert Eq. (4): achieved conductances → effective weights.
+
+        Deliberately *not* clipped: an aged device stuck outside the
+        nominal conductance range produces an out-of-range effective
+        weight, which is exactly the accuracy-degradation mechanism the
+        paper describes.
+        """
+        g = np.asarray(g, dtype=np.float64)
+        w = (g - self.g_min) / self.slope + self.w_min
+        return float(w) if w.ndim == 0 else w
+
+    def resistance_to_weight(self, r: ArrayLike) -> ArrayLike:
+        """Achieved resistances → effective weights."""
+        r = np.asarray(r, dtype=np.float64)
+        return self.conductance_to_weight(1.0 / r)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LinearWeightMapping(w=[{self.w_min:.4g}, {self.w_max:.4g}], "
+            f"g=[{self.g_min:.4g}, {self.g_max:.4g}])"
+        )

@@ -1,0 +1,120 @@
+"""Row-swapping wear levelling (paper ref [12]).
+
+Cai et al. extend training-in-memory lifetime by letting lightly-aged
+rows take over for heavily-aged ones.  The hardware realization is a
+row-routing permutation: logical weight row *i* is stored on physical
+row ``perm[i]``, and the input wiring follows the permutation, so the
+computation is unchanged while the programming traffic lands on
+different devices.
+
+:class:`RowSwapper` implements the maintenance step for a
+:class:`~repro.mapping.network.MappedLayer`: rank physical rows by
+accumulated stress, and swap the hottest rows with the coldest ones
+whenever their stress differs by more than ``threshold`` of the hottest
+row's stress.  Swapping is *logical*: the layer's row permutation is
+updated and both rows are reprogrammed to their (new) targets at the
+next mapping.
+
+This is the "gross granularity" the paper contrasts with: whole rows
+move, no individual device is spared, and every swap costs a full
+reprogram of two rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class RowSwapper:
+    """Wear-levelling row permutations for mapped layers."""
+
+    def __init__(self, max_swaps_per_cycle: int = 4, threshold: float = 0.25) -> None:
+        if max_swaps_per_cycle < 1:
+            raise ConfigurationError(
+                f"max_swaps_per_cycle must be >= 1, got {max_swaps_per_cycle}"
+            )
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError(f"threshold must be in [0, 1], got {threshold}")
+        self.max_swaps_per_cycle = int(max_swaps_per_cycle)
+        self.threshold = float(threshold)
+        #: Per-layer-index logical->physical row permutation.
+        self.permutations: Dict[int, np.ndarray] = {}
+        #: Total swaps performed (diagnostics).
+        self.total_swaps = 0
+
+    def permutation_for(self, layer) -> np.ndarray:
+        """Current logical→physical permutation for ``layer``."""
+        n_rows = layer.matrix_shape[0]
+        perm = self.permutations.get(layer.layer_index)
+        if perm is None or perm.size != n_rows:
+            perm = np.arange(n_rows)
+            self.permutations[layer.layer_index] = perm
+        return perm
+
+    def row_stress(self, layer) -> np.ndarray:
+        """Mean accumulated stress per *physical* row of ``layer``."""
+        stress = np.empty(layer.matrix_shape)
+        for rs, cs, tile in layer.tiles.iter_tiles():
+            stress[rs, cs] = tile.stress_time
+        return stress.mean(axis=1)
+
+    def plan_swaps(self, layer) -> List[Tuple[int, int]]:
+        """Hot/cold physical row pairs worth swapping this cycle."""
+        stress = self.row_stress(layer)
+        order = np.argsort(stress)
+        swaps: List[Tuple[int, int]] = []
+        n = stress.size
+        for k in range(min(self.max_swaps_per_cycle, n // 2)):
+            cold, hot = int(order[k]), int(order[n - 1 - k])
+            if stress[hot] <= 0:
+                break
+            if (stress[hot] - stress[cold]) / stress[hot] < self.threshold:
+                break
+            swaps.append((hot, cold))
+        return swaps
+
+    def maintain(self, layer) -> int:
+        """Update ``layer``'s permutation; returns the number of swaps.
+
+        Call between windows, *before* remapping: the next ``program``
+        then writes each logical row onto its new physical row.
+        """
+        perm = self.permutation_for(layer).copy()
+        swaps = self.plan_swaps(layer)
+        inverse = np.argsort(perm)  # physical -> logical
+        for hot, cold in swaps:
+            li, lj = int(inverse[hot]), int(inverse[cold])
+            perm[li], perm[lj] = perm[lj], perm[li]
+            inverse[hot], inverse[cold] = lj, li
+        self.permutations[layer.layer_index] = perm
+        self.total_swaps += len(swaps)
+        return len(swaps)
+
+    def apply_to_network(self, network) -> int:
+        """Maintenance for every mapped layer of ``network``.
+
+        Usable directly as a
+        :class:`~repro.core.lifetime.LifetimeSimulator` maintenance
+        hook.  Returns the number of swaps performed this cycle.
+        """
+        swaps = 0
+        for layer in network.layers:
+            swaps += self.maintain(layer)
+            layer.set_row_permutation(self.permutations[layer.layer_index])
+        return swaps
+
+    def permuted_targets(self, layer, targets: np.ndarray) -> np.ndarray:
+        """Reorder logical-row ``targets`` onto physical rows."""
+        perm = self.permutation_for(layer)
+        out = np.empty_like(targets)
+        out[perm] = targets
+        return out
+
+    def unpermute_matrix(self, layer, physical: np.ndarray) -> np.ndarray:
+        """Read-back: physical-row matrix → logical-row matrix."""
+        perm = self.permutation_for(layer)
+        return physical[perm]

@@ -1,0 +1,106 @@
+"""Loss functions.
+
+A loss exposes ``value(pred, target)`` (mean over the batch) and
+``gradient(pred, target)`` (gradient of the mean loss w.r.t. ``pred``).
+Targets for classification losses are one-hot float arrays so the same
+API serves both hard and soft labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+_EPS = 1e-12
+
+
+def _check_same_shape(pred: np.ndarray, target: np.ndarray) -> None:
+    if pred.shape != target.shape:
+        raise ShapeError(f"pred shape {pred.shape} != target shape {target.shape}")
+
+
+class Loss:
+    """Base class for losses."""
+
+    name = "loss"
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Fused softmax + categorical cross-entropy.
+
+    ``pred`` is the raw logits array ``(batch, classes)``; ``target`` is
+    one-hot (or a soft distribution).  This is the loss the paper's
+    Eq. (1) writes as the cross-entropy term :math:`C(W)`.
+    """
+
+    name = "softmax_cross_entropy"
+
+    @staticmethod
+    def probabilities(logits: np.ndarray) -> np.ndarray:
+        """Row-wise softmax of ``logits`` (stable)."""
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=-1, keepdims=True)
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        _check_same_shape(pred, target)
+        p = self.probabilities(pred)
+        return float(-np.sum(target * np.log(p + _EPS)) / pred.shape[0])
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        _check_same_shape(pred, target)
+        p = self.probabilities(pred)
+        return (p - target) / pred.shape[0]
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error, averaged over batch *and* features."""
+
+    name = "mse"
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        _check_same_shape(pred, target)
+        return float(np.mean((pred - target) ** 2))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        _check_same_shape(pred, target)
+        return 2.0 * (pred - target) / pred.size
+
+
+class HingeLoss(Loss):
+    """Multi-class (Crammer–Singer) hinge loss on raw scores.
+
+    For each sample with true class ``c``: ``mean_j max(0, margin +
+    s_j - s_c)`` over ``j != c``.
+    """
+
+    name = "hinge"
+
+    def __init__(self, margin: float = 1.0) -> None:
+        self.margin = float(margin)
+
+    def _margins(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        true_scores = np.sum(pred * target, axis=1, keepdims=True)
+        margins = np.maximum(0.0, self.margin + pred - true_scores)
+        return margins * (1.0 - target)  # zero-out the true class
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        _check_same_shape(pred, target)
+        return float(np.sum(self._margins(pred, target)) / pred.shape[0])
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        _check_same_shape(pred, target)
+        active = (self._margins(pred, target) > 0.0).astype(np.float64)
+        grad = active.copy()
+        grad -= target * active.sum(axis=1, keepdims=True)
+        return grad / pred.shape[0]

@@ -1,0 +1,46 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def _labels(a: np.ndarray) -> np.ndarray:
+    """Class indices from either one-hot rows or an index vector."""
+    a = np.asarray(a)
+    if a.ndim == 2:
+        return a.argmax(axis=1)
+    if a.ndim == 1:
+        return a.astype(np.int64)
+    raise ShapeError(f"expected 1-D labels or 2-D one-hot, got shape {a.shape}")
+
+
+def accuracy(pred: np.ndarray, target: np.ndarray) -> float:
+    """Fraction of samples whose argmax prediction matches the target."""
+    p, t = _labels(pred), _labels(target)
+    if p.shape != t.shape:
+        raise ShapeError(f"pred labels {p.shape} != target labels {t.shape}")
+    if p.size == 0:
+        return 0.0
+    return float(np.mean(p == t))
+
+
+def top_k_accuracy(pred: np.ndarray, target: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose target is within the top-``k`` scores."""
+    pred = np.asarray(pred)
+    if pred.ndim != 2:
+        raise ShapeError(f"top_k needs score matrix, got shape {pred.shape}")
+    k = min(k, pred.shape[1])
+    t = _labels(target)
+    topk = np.argpartition(-pred, k - 1, axis=1)[:, :k]
+    return float(np.mean(np.any(topk == t[:, None], axis=1)))
+
+
+def confusion_matrix(pred: np.ndarray, target: np.ndarray, n_classes: int) -> np.ndarray:
+    """``(n_classes, n_classes)`` count matrix, rows = true class."""
+    p, t = _labels(pred), _labels(target)
+    cm = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(cm, (t, p), 1)
+    return cm

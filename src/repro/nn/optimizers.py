@@ -1,0 +1,132 @@
+"""First-order optimizers.
+
+An optimizer holds per-parameter state keyed by ``id`` of the parameter
+array (arrays are updated in place, so identity is stable for the life of
+a model).  ``update(param, grad)`` applies one step; ``lr`` may be
+mutated between steps by a schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class Optimizer:
+    """Base class with learning-rate storage and state bookkeeping."""
+
+    def __init__(self, lr: float = 0.01) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be > 0, got {lr}")
+        self.lr = float(lr)
+        self._state: Dict[int, dict] = {}
+        self.iterations = 0
+
+    def state_for(self, param: np.ndarray) -> dict:
+        """Per-parameter state dict (created on first access)."""
+        return self._state.setdefault(id(param), {})
+
+    def update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def begin_step(self) -> None:
+        """Called once per optimization step, before parameter updates."""
+        self.iterations += 1
+
+    def reset(self) -> None:
+        """Drop all accumulated state (e.g. between training phases)."""
+        self._state.clear()
+        self.iterations = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(lr={self.lr})"
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent."""
+
+    def update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        param -= self.lr * grad
+
+
+class Momentum(Optimizer):
+    """SGD with (optionally Nesterov) momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.9, nesterov: bool = False) -> None:
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+
+    def update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        state = self.state_for(param)
+        v = state.get("velocity")
+        if v is None:
+            v = np.zeros_like(param)
+            state["velocity"] = v
+        v *= self.momentum
+        v -= self.lr * grad
+        if self.nesterov:
+            param += self.momentum * v - self.lr * grad
+        else:
+            param += v
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponential moving average of squared gradients."""
+
+    def __init__(self, lr: float = 0.001, rho: float = 0.9, eps: float = 1e-8) -> None:
+        super().__init__(lr)
+        if not 0.0 <= rho < 1.0:
+            raise ConfigurationError(f"rho must be in [0, 1), got {rho}")
+        self.rho = float(rho)
+        self.eps = float(eps)
+
+    def update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        state = self.state_for(param)
+        sq = state.get("sq")
+        if sq is None:
+            sq = np.zeros_like(param)
+            state["sq"] = sq
+        sq *= self.rho
+        sq += (1.0 - self.rho) * grad * grad
+        param -= self.lr * grad / (np.sqrt(sq) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError(
+                f"betas must be in [0, 1), got beta1={beta1}, beta2={beta2}"
+            )
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+
+    def update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        state = self.state_for(param)
+        if "m" not in state:
+            state["m"] = np.zeros_like(param)
+            state["v"] = np.zeros_like(param)
+        m, v = state["m"], state["v"]
+        t = max(1, self.iterations)
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad * grad
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

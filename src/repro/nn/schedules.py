@@ -1,0 +1,76 @@
+"""Learning-rate schedules.
+
+A schedule is a callable ``schedule(epoch) -> lr``; the model applies it
+at the start of each epoch by assigning ``optimizer.lr``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+class Schedule:
+    """Base class: subclasses implement ``__call__(epoch)``."""
+
+    def __call__(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(Schedule):
+    """Fixed learning rate."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be > 0, got {lr}")
+        self.lr = float(lr)
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr
+
+
+class StepLR(Schedule):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, lr: float, step_size: int, gamma: float = 0.1) -> None:
+        if step_size < 1:
+            raise ConfigurationError(f"step_size must be >= 1, got {step_size}")
+        if not 0 < gamma <= 1:
+            raise ConfigurationError(f"gamma must be in (0, 1], got {gamma}")
+        self.lr = float(lr)
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialLR(Schedule):
+    """Continuous exponential decay ``lr * gamma**epoch``."""
+
+    def __init__(self, lr: float, gamma: float = 0.95) -> None:
+        if not 0 < gamma <= 1:
+            raise ConfigurationError(f"gamma must be in (0, 1], got {gamma}")
+        self.lr = float(lr)
+        self.gamma = float(gamma)
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr * self.gamma**epoch
+
+
+class CosineLR(Schedule):
+    """Cosine annealing from ``lr`` to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, lr: float, total_epochs: int, min_lr: float = 0.0) -> None:
+        if total_epochs < 1:
+            raise ConfigurationError(f"total_epochs must be >= 1, got {total_epochs}")
+        if min_lr > lr:
+            raise ConfigurationError(f"min_lr {min_lr} exceeds lr {lr}")
+        self.lr = float(lr)
+        self.total_epochs = int(total_epochs)
+        self.min_lr = float(min_lr)
+
+    def __call__(self, epoch: int) -> float:
+        frac = min(epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.lr - self.min_lr) * (1.0 + math.cos(math.pi * frac))

@@ -1,0 +1,24 @@
+"""Software training, including the paper's skewed-weight procedure."""
+
+from repro.training.networks import build_lenet, build_mlp, build_vggnet
+from repro.training.skewed import (
+    SkewedTrainingConfig,
+    SkewedTrainingResult,
+    distribution_skewness,
+    layer_betas,
+    skewed_train,
+)
+from repro.training.trainer import TrainConfig, train_baseline
+
+__all__ = [
+    "SkewedTrainingConfig",
+    "SkewedTrainingResult",
+    "TrainConfig",
+    "build_lenet",
+    "build_mlp",
+    "build_vggnet",
+    "distribution_skewness",
+    "layer_betas",
+    "skewed_train",
+    "train_baseline",
+]

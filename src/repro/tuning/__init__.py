@@ -1,0 +1,5 @@
+"""Online tuning of mapped crossbars (paper Section II-C, Eq. (5))."""
+
+from repro.tuning.online import OnlineTuner, TuningConfig, TuningResult
+
+__all__ = ["OnlineTuner", "TuningConfig", "TuningResult"]

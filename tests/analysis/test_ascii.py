@@ -1,0 +1,68 @@
+"""Unit tests for the ASCII renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_histogram, ascii_series, render_table
+from repro.exceptions import ConfigurationError
+
+
+class TestHistogram:
+    def test_basic_render(self):
+        out = ascii_histogram(np.array([0.0, 1.0, 2.0]), np.array([2, 4]), width=4)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "##" in lines[0] and "####" in lines[1]
+
+    def test_label(self):
+        out = ascii_histogram(np.array([0.0, 1.0]), np.array([1]), label="weights")
+        assert out.splitlines()[0] == "weights"
+
+    def test_edge_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ascii_histogram(np.array([0.0, 1.0]), np.array([1, 2]))
+
+    def test_zero_counts_ok(self):
+        out = ascii_histogram(np.array([0.0, 1.0, 2.0]), np.array([0, 0]))
+        assert "(0)" in out
+
+
+class TestSeries:
+    def test_render_includes_extremes(self):
+        out = ascii_series([1.0, 5.0, 3.0], height=5, width=10)
+        assert "max=5" in out
+        assert "min=1" in out
+        assert "n=3" in out
+
+    def test_constant_series(self):
+        out = ascii_series([2.0, 2.0, 2.0])
+        assert "*" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_series([])
+
+    def test_downsamples_long_series(self):
+        out = ascii_series(list(range(1000)), width=40)
+        grid_lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert all(len(l) <= 41 for l in grid_lines)
+
+
+class TestTable:
+    def test_alignment(self):
+        out = render_table(["name", "v"], [["aa", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+
+    def test_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out

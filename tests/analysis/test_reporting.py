@@ -1,0 +1,65 @@
+"""Unit tests for Markdown report generation."""
+
+import pytest
+
+from repro.analysis.reporting import comparison_report, scenario_section
+from repro.core.results import LifetimeResult, ScenarioComparison, WindowRecord
+from repro.exceptions import ConfigurationError
+
+
+def make_result(key="st+at", lifetime=120_000, failed=True):
+    result = LifetimeResult(
+        scenario_key=key,
+        lifetime_applications=lifetime,
+        failed=failed,
+        software_accuracy=0.9,
+        target_accuracy=0.84,
+    )
+    for i, iters in enumerate([3, 5, 150] if failed else [3, 5]):
+        result.windows.append(
+            WindowRecord(
+                window_index=i,
+                applications_total=(i + 1) * 10_000,
+                tuning_iterations=iters,
+                converged=iters < 150,
+                accuracy_after=0.85,
+                pulses_total=(i + 1) * 500,
+                dead_fraction=0.02 * i,
+                aged_upper_by_layer={0: 9e4},
+            )
+        )
+    return result
+
+
+class TestScenarioSection:
+    def test_contains_key_facts(self):
+        text = scenario_section(make_result())
+        assert "ST+AT" in text
+        assert "120,000 applications" in text
+        assert "failed" in text
+        assert "knee" in text
+
+    def test_no_knee_case(self):
+        text = scenario_section(make_result(failed=False))
+        assert "no failure knee" in text
+
+
+class TestComparisonReport:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            comparison_report(ScenarioComparison(workload="x"))
+
+    def test_full_report(self):
+        cmp = ScenarioComparison(workload="glyphs")
+        cmp.add(make_result("t+t", 100_000))
+        cmp.add(make_result("st+at", 250_000))
+        text = comparison_report(cmp)
+        assert text.startswith("# Lifetime comparison — glyphs")
+        assert "| scenario |" in text
+        assert "2.5x" in text
+        assert text.count("### Scenario") == 2
+
+    def test_custom_title(self):
+        cmp = ScenarioComparison(workload="glyphs")
+        cmp.add(make_result("t+t"))
+        assert comparison_report(cmp, title="Custom").startswith("# Custom")

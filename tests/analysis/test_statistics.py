@@ -1,0 +1,70 @@
+"""Unit tests for bootstrap statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import BootstrapResult, bootstrap_ci, bootstrap_ratio_ci
+from repro.exceptions import ConfigurationError
+
+
+class TestBootstrapCi:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0, 2.0], confidence=1.0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0, 2.0], n_boot=10)
+
+    def test_interval_contains_estimate(self, rng):
+        sample = rng.normal(10.0, 2.0, 40)
+        result = bootstrap_ci(sample, seed=1)
+        assert result.low <= result.estimate <= result.high
+
+    def test_interval_covers_true_median(self, rng):
+        sample = rng.normal(5.0, 1.0, 200)
+        result = bootstrap_ci(sample, seed=2)
+        assert result.contains(5.0)
+
+    def test_wider_at_higher_confidence(self, rng):
+        sample = rng.lognormal(0.0, 1.0, 30)
+        narrow = bootstrap_ci(sample, confidence=0.8, seed=3)
+        wide = bootstrap_ci(sample, confidence=0.99, seed=3)
+        assert (wide.high - wide.low) >= (narrow.high - narrow.low)
+
+    def test_deterministic_given_seed(self, rng):
+        sample = rng.normal(size=20)
+        a = bootstrap_ci(sample, seed=7)
+        b = bootstrap_ci(sample, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_custom_statistic(self, rng):
+        sample = rng.normal(3.0, 1.0, 100)
+        result = bootstrap_ci(sample, statistic=np.mean, seed=4)
+        assert result.estimate == pytest.approx(sample.mean())
+
+
+class TestBootstrapRatioCi:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ratio_ci([1.0], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            bootstrap_ratio_ci([1.0, 2.0], [0.0, 0.0])
+
+    def test_clear_separation_excludes_one(self, rng):
+        """Two clearly separated lifetime samples: the ratio interval
+        must exclude 1 — this is the statistical form of 'ST+T beats
+        T+T'."""
+        tt = rng.normal(100.0, 10.0, 12)
+        stt = rng.normal(300.0, 30.0, 12)
+        result = bootstrap_ratio_ci(stt, tt, seed=5)
+        assert result.low > 1.0
+        assert result.estimate == pytest.approx(3.0, rel=0.3)
+
+    def test_identical_samples_cover_one(self, rng):
+        sample = rng.lognormal(0.0, 0.3, 25)
+        result = bootstrap_ratio_ci(sample, sample.copy(), seed=6)
+        assert result.contains(1.0)
+
+    def test_str_format(self):
+        assert "@95%" in str(BootstrapResult(2.0, 1.5, 2.5, 0.95))

@@ -1,0 +1,80 @@
+"""Unit tests for trajectory analyses (Fig. 10/11 helpers)."""
+
+import pytest
+
+from repro.analysis import iteration_knee, layer_type_aging
+from repro.core.results import LifetimeResult, WindowRecord
+
+
+class TestIterationKnee:
+    def test_flat_series_has_no_knee(self):
+        assert iteration_knee([5, 5, 6, 5, 5]) == 5
+
+    def test_sudden_jump_detected(self):
+        series = [5, 6, 5, 5, 40, 150]
+        assert iteration_knee(series) == 4
+
+    def test_knee_at_budget_spike(self):
+        assert iteration_knee([0, 0, 0, 150]) == 3
+
+    def test_empty_and_immediate_blowout(self):
+        assert iteration_knee([]) == 0
+        assert iteration_knee([150]) == 0  # failure in the first window
+
+    def test_small_noise_below_floor_is_not_a_knee(self):
+        # A 10-iteration window after zeros is maintenance, not failure.
+        assert iteration_knee([0, 0, 10, 0, 0]) == 5
+
+    def test_floor_configurable(self):
+        assert iteration_knee([0, 0, 10, 0], floor=5.0) == 2
+
+
+class TestLayerTypeAging:
+    def test_grouping(self, trained_mlp, device_config, blob_dataset):
+        from repro.core.lifetime import LifetimeConfig, LifetimeSimulator
+        from repro.mapping import MappedNetwork
+        from repro.tuning import TuningConfig
+
+        network = MappedNetwork(trained_mlp, device_config, seed=61)
+        network.map_network()
+        sim = LifetimeSimulator(
+            network,
+            blob_dataset.x_train[:64],
+            blob_dataset.y_train[:64],
+            config=LifetimeConfig(
+                apps_per_window=100,
+                max_windows=3,
+                tuning=TuningConfig(target_accuracy=0.9, max_iterations=10),
+            ),
+            seed=62,
+        )
+        result = sim.run("t+t")
+        grouped = layer_type_aging(result, network)
+        # The MLP has only dense layers.
+        assert set(grouped) == {"dense"}
+        assert len(grouped["dense"]) == 3
+
+    def test_conv_and_dense_grouped(self, device_config, glyph_dataset):
+        from repro.core.lifetime import LifetimeConfig, LifetimeSimulator
+        from repro.mapping import MappedNetwork
+        from repro.training import TrainConfig, build_lenet, train_baseline
+        from repro.tuning import TuningConfig
+
+        model = build_lenet(seed=63)
+        train_baseline(model, glyph_dataset, TrainConfig(epochs=2))
+        network = MappedNetwork(model, device_config, seed=64)
+        network.map_network()
+        sim = LifetimeSimulator(
+            network,
+            glyph_dataset.x_train[:48],
+            glyph_dataset.y_train[:48],
+            config=LifetimeConfig(
+                apps_per_window=100,
+                max_windows=2,
+                tuning=TuningConfig(target_accuracy=0.2, max_iterations=5),
+            ),
+            seed=65,
+        )
+        result = sim.run("t+t")
+        grouped = layer_type_aging(result, network)
+        assert set(grouped) == {"conv", "dense"}

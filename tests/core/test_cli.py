@@ -1,0 +1,94 @@
+"""Unit tests for the command-line interface.
+
+The heavy subcommands run against the fast presets; assertions check
+wiring (arguments reach the framework, files land on disk) rather than
+simulation quality, which the benchmarks own.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.preset == "lenet-glyphs"
+        assert args.scenario == "st+at"
+        assert not args.fast
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--preset", "nope"])
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "nope"])
+
+
+class TestCommands:
+    def test_list_presets(self, capsys):
+        assert main(["list-presets"]) == 0
+        out = capsys.readouterr().out
+        assert "lenet-glyphs" in out and "vggnet-shapes" in out
+
+    def test_train_writes_weights(self, tmp_path, capsys):
+        weights = tmp_path / "model.npz"
+        code = main(
+            ["train", "--preset", "lenet-glyphs", "--fast", "--weights", str(weights)]
+        )
+        assert code == 0
+        assert weights.exists()
+        assert "test accuracy" in capsys.readouterr().out
+
+    def test_report_from_saved_comparison(self, tmp_path, capsys):
+        from repro.core.results import LifetimeResult, ScenarioComparison
+        from repro.io import save_comparison
+
+        cmp_path = tmp_path / "cmp.json"
+        comparison = ScenarioComparison(workload="glyphs")
+        comparison.add(
+            LifetimeResult(scenario_key="t+t", lifetime_applications=1000, failed=True)
+        )
+        save_comparison(comparison, cmp_path)
+        out_path = tmp_path / "report.md"
+        assert main(["report", str(cmp_path), "--out", str(out_path)]) == 0
+        assert out_path.read_text().startswith("# Lifetime comparison")
+
+    def test_report_to_stdout(self, tmp_path, capsys):
+        from repro.core.results import LifetimeResult, ScenarioComparison
+        from repro.io import save_comparison
+
+        cmp_path = tmp_path / "cmp.json"
+        comparison = ScenarioComparison(workload="glyphs")
+        comparison.add(
+            LifetimeResult(scenario_key="t+t", lifetime_applications=1000, failed=True)
+        )
+        save_comparison(comparison, cmp_path)
+        assert main(["report", str(cmp_path)]) == 0
+        assert "# Lifetime comparison" in capsys.readouterr().out
+
+    def test_run_writes_result(self, tmp_path, capsys):
+        out_file = tmp_path / "result.json"
+        code = main(
+            [
+                "run",
+                "--preset",
+                "lenet-glyphs",
+                "--fast",
+                "--scenario",
+                "t+t",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["scenario_key"] == "t+t"
+        assert "lifetime" in capsys.readouterr().out

@@ -1,0 +1,105 @@
+"""Unit tests for the lifetime simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.lifetime import LifetimeConfig, LifetimeSimulator
+from repro.exceptions import ConfigurationError
+from repro.mapping import MappedNetwork
+from repro.tuning import TuningConfig
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(apps_per_window=0), dict(drift_magnitude=-0.1), dict(max_windows=0)],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LifetimeConfig(**kwargs)
+
+    def test_default_tuning_created(self):
+        assert LifetimeConfig().tuning.max_iterations == 150
+
+
+class TestSimulator:
+    @pytest.fixture()
+    def simulator(self, trained_mlp, device_config, blob_dataset):
+        network = MappedNetwork(trained_mlp, device_config, seed=41)
+        network.map_network()
+        config = LifetimeConfig(
+            apps_per_window=1000,
+            drift_magnitude=0.05,
+            max_windows=5,
+            tuning=TuningConfig(target_accuracy=0.9, max_iterations=20),
+        )
+        return LifetimeSimulator(
+            network,
+            blob_dataset.x_train[:96],
+            blob_dataset.y_train[:96],
+            config=config,
+            seed=42,
+        )
+
+    def test_survives_horizon_on_easy_task(self, simulator):
+        result = simulator.run("t+t")
+        assert not result.failed
+        assert result.lifetime_applications == 5000
+        assert len(result.windows) == 5
+
+    def test_window_records_are_complete(self, simulator):
+        result = simulator.run("t+t")
+        for i, window in enumerate(result.windows):
+            assert window.window_index == i
+            assert window.applications_total == (i + 1) * 1000
+            assert window.converged
+            assert window.aged_upper_by_layer
+            assert window.pulses_total >= 0
+
+    def test_pulses_accumulate_across_windows(self, simulator):
+        result = simulator.run("t+t")
+        pulses = [w.pulses_total for w in result.windows]
+        assert pulses == sorted(pulses)
+        assert pulses[-1] > 0
+
+    def test_failure_on_impossible_target(self, trained_mlp, device_config, blob_dataset, rng):
+        network = MappedNetwork(trained_mlp, device_config, seed=43)
+        network.map_network()
+        y_shuffled = blob_dataset.y_train[:96][rng.permutation(96)]
+        config = LifetimeConfig(
+            apps_per_window=1000,
+            max_windows=5,
+            tuning=TuningConfig(target_accuracy=0.99, max_iterations=5),
+        )
+        sim = LifetimeSimulator(
+            network, blob_dataset.x_train[:96], y_shuffled, config=config, seed=44
+        )
+        result = sim.run("t+t")
+        assert result.failed
+        assert result.lifetime_applications == 0  # first window already fails
+        assert len(result.windows) == 1
+
+    def test_aging_aware_mode_runs(self, trained_mlp, device_config, blob_dataset):
+        network = MappedNetwork(trained_mlp, device_config, seed=45)
+        network.map_network()
+        config = LifetimeConfig(
+            apps_per_window=1000,
+            max_windows=3,
+            tuning=TuningConfig(target_accuracy=0.9, max_iterations=20),
+        )
+        sim = LifetimeSimulator(
+            network,
+            blob_dataset.x_train[:96],
+            blob_dataset.y_train[:96],
+            config=config,
+            aging_aware=True,
+            seed=46,
+        )
+        result = sim.run("st+at")
+        assert len(result.windows) == 3
+        assert not result.failed
+
+    def test_aged_upper_bounds_decline(self, simulator):
+        result = simulator.run("t+t")
+        trace = result.layer_aging_trace()[0]
+        assert trace[-1] <= trace[0]

@@ -1,0 +1,35 @@
+"""Unit tests for scenario definitions."""
+
+import pytest
+
+from repro.core.scenarios import SCENARIOS, Scenario
+from repro.exceptions import ConfigurationError
+
+
+class TestScenarios:
+    def test_paper_scenarios_present(self):
+        assert {"t+t", "st+t", "st+at"} <= set(SCENARIOS)
+
+    def test_tt_is_full_baseline(self):
+        s = SCENARIOS["t+t"]
+        assert not s.skewed_training and not s.aging_aware_mapping
+
+    def test_stat_is_full_framework(self):
+        s = SCENARIOS["st+at"]
+        assert s.skewed_training and s.aging_aware_mapping
+
+    def test_stt_is_training_only(self):
+        s = SCENARIOS["st+t"]
+        assert s.skewed_training and not s.aging_aware_mapping
+
+    def test_labels_match_paper(self):
+        assert SCENARIOS["t+t"].label == "T+T"
+        assert SCENARIOS["st+at"].label == "ST+AT"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SCENARIOS["t+t"].key = "x"
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario("", "X", False, False)

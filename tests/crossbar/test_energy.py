@@ -1,0 +1,77 @@
+"""Unit tests for the energy model."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.energy import (
+    EnergyParams,
+    network_programming_energy,
+    programming_energy,
+    vmm_read_energy,
+)
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyParams(read_voltage=0.0)
+        with pytest.raises(ConfigurationError):
+            EnergyParams(pulse_width=-1.0)
+
+
+class TestReadEnergy:
+    def test_single_device_hand_check(self):
+        params = EnergyParams(read_voltage=1.0, read_time=1.0)
+        g = np.array([[2.0]])
+        # E = V^2 * g * t = 1 * 2 * 1
+        assert vmm_read_energy(g, np.array([1.0]), params) == pytest.approx(2.0)
+
+    def test_scales_with_conductance(self, rng):
+        params = EnergyParams()
+        g = rng.uniform(1e-5, 1e-4, (6, 4))
+        v = rng.uniform(-1, 1, 6)
+        assert vmm_read_energy(2 * g, v, params) == pytest.approx(
+            2 * vmm_read_energy(g, v, params)
+        )
+
+    def test_batch_sums(self, rng):
+        params = EnergyParams()
+        g = rng.uniform(1e-5, 1e-4, (6, 4))
+        v = rng.uniform(-1, 1, (3, 6))
+        total = vmm_read_energy(g, v, params)
+        parts = sum(vmm_read_energy(g, v[i], params) for i in range(3))
+        assert total == pytest.approx(parts)
+
+    def test_shape_check(self):
+        with pytest.raises(ShapeError):
+            vmm_read_energy(np.ones((4, 2)), np.ones(5))
+
+
+class TestProgrammingEnergy:
+    def test_hand_check(self):
+        params = EnergyParams(program_voltage=2.0, pulse_width=1e-6)
+        # E = V^2/R * t = 4/1e4 * 1e-6
+        assert programming_energy(np.array([1e4]), params) == pytest.approx(4e-10)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            programming_energy(np.array([0.0]))
+
+    def test_high_resistance_is_cheaper(self):
+        """The paper's motivation: skewed (large-R) mappings program
+        with less current, hence less energy."""
+        low = programming_energy(np.full(100, 2e4))
+        high = programming_energy(np.full(100, 8e4))
+        assert high < low
+
+    def test_network_energy(self, mapped_mlp):
+        energy = network_programming_energy(mapped_mlp)
+        assert energy > 0
+
+    def test_network_requires_mapping(self, trained_mlp, device_config):
+        from repro.mapping import MappedNetwork
+
+        net = MappedNetwork(trained_mlp, device_config, seed=1)
+        with pytest.raises(ConfigurationError):
+            network_programming_energy(net)

@@ -1,0 +1,113 @@
+"""Unit tests for the IR-drop parasitics models."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.parasitics import (
+    ParasiticModel,
+    ir_drop_factors,
+    solve_crossbar_nodal,
+    vmm_with_ir_drop,
+)
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+@pytest.fixture()
+def small_g(rng):
+    return rng.uniform(1e-5, 1e-4, size=(6, 5))
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParasiticModel(r_wire=-1.0)
+
+
+class TestNodalSolver:
+    def test_zero_wire_resistance_is_ideal(self, small_g, rng):
+        v = rng.uniform(0, 1, 6)
+        out = solve_crossbar_nodal(small_g, v, ParasiticModel(0.0))
+        np.testing.assert_allclose(out, v @ small_g)
+
+    def test_single_cell_divider(self):
+        """One cell: the network is a plain voltage divider
+        wire → cell → wire → ground; current = V / (R_cell + 2 R_wire)."""
+        g = np.array([[1e-4]])
+        model = ParasiticModel(100.0)
+        out = solve_crossbar_nodal(g, np.array([1.0]), model)
+        expected = 1.0 / (1e4 + 2 * 100.0)
+        assert out[0] == pytest.approx(expected, rel=1e-9)
+
+    def test_parasitics_reduce_current(self, small_g):
+        v = np.ones(6)
+        ideal = v @ small_g
+        dropped = solve_crossbar_nodal(small_g, v, ParasiticModel(50.0))
+        assert np.all(dropped < ideal)
+        assert np.all(dropped > 0)
+
+    def test_more_wire_resistance_more_drop(self, small_g):
+        v = np.ones(6)
+        mild = solve_crossbar_nodal(small_g, v, ParasiticModel(5.0))
+        harsh = solve_crossbar_nodal(small_g, v, ParasiticModel(100.0))
+        assert np.all(harsh < mild)
+
+    def test_linearity_in_input(self, small_g, rng):
+        """The network is linear: doubling V doubles I."""
+        model = ParasiticModel(20.0)
+        v = rng.uniform(0, 1, 6)
+        out1 = solve_crossbar_nodal(small_g, v, model)
+        out2 = solve_crossbar_nodal(small_g, 2 * v, model)
+        np.testing.assert_allclose(out2, 2 * out1, rtol=1e-9)
+
+    def test_shape_checks(self, small_g):
+        with pytest.raises(ShapeError):
+            solve_crossbar_nodal(small_g, np.ones(3), ParasiticModel())
+        with pytest.raises(ShapeError):
+            solve_crossbar_nodal(np.ones(4), np.ones(4), ParasiticModel())
+
+
+class TestApproximation:
+    def test_factors_are_fractions(self, small_g):
+        f = ir_drop_factors(small_g, ParasiticModel(10.0))
+        assert np.all((0 < f) & (f <= 1))
+
+    def test_far_corner_attenuates_most(self, small_g):
+        """The cell far from driver AND far from TIA (row 0, last col)
+        has the longest path."""
+        g = np.full((6, 5), 5e-5)
+        f = ir_drop_factors(g, ParasiticModel(50.0))
+        assert f[0, -1] == f.min()
+        assert f[-1, 0] == f.max()
+
+    def test_zero_wire_gives_ones(self, small_g):
+        np.testing.assert_array_equal(
+            ir_drop_factors(small_g, ParasiticModel(0.0)), np.ones_like(small_g)
+        )
+
+    def test_approximation_tracks_exact(self, rng):
+        """On a small array with modest parasitics, the first-order
+        model stays within a few percent of the nodal solution."""
+        g = rng.uniform(1e-5, 1e-4, size=(8, 8))
+        v = rng.uniform(0.1, 1.0, 8)
+        model = ParasiticModel(2.0)
+        exact = solve_crossbar_nodal(g, v, model)
+        approx = vmm_with_ir_drop(g, v, model)
+        rel = np.abs(approx - exact) / np.abs(exact)
+        assert rel.max() < 0.05
+
+
+class TestVmmWrapper:
+    def test_batched_shape(self, small_g, rng):
+        v = rng.uniform(0, 1, (4, 6))
+        out = vmm_with_ir_drop(small_g, v, ParasiticModel(5.0))
+        assert out.shape == (4, 5)
+
+    def test_exact_flag(self, small_g, rng):
+        v = rng.uniform(0, 1, 6)
+        model = ParasiticModel(5.0)
+        exact = vmm_with_ir_drop(small_g, v, model, exact=True)
+        np.testing.assert_allclose(exact, solve_crossbar_nodal(small_g, v, model))
+
+    def test_width_check(self, small_g):
+        with pytest.raises(ShapeError):
+            vmm_with_ir_drop(small_g, np.ones(4), ParasiticModel())

@@ -1,0 +1,66 @@
+"""Unit tests for DAC/ADC peripheral models."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.peripheral import InputDriver, OutputConverter
+from repro.exceptions import ConfigurationError
+
+
+class TestInputDriver:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InputDriver(bits=0)
+        with pytest.raises(ConfigurationError):
+            InputDriver(v_max=0.0)
+
+    def test_n_codes(self):
+        assert InputDriver(bits=8).n_codes == 256
+
+    def test_saturation(self):
+        dac = InputDriver(bits=8, v_max=1.0)
+        out = dac.convert(np.array([-5.0, 5.0]))
+        np.testing.assert_allclose(out, [-1.0, 1.0])
+
+    def test_quantization_error_bounded(self, rng):
+        dac = InputDriver(bits=6, v_max=1.0)
+        x = rng.uniform(-1, 1, 500)
+        out = dac.convert(x)
+        step = 2.0 / (2**6 - 1)
+        assert np.max(np.abs(out - x)) <= step / 2 + 1e-12
+
+    def test_unipolar_mode(self):
+        dac = InputDriver(bits=4, v_max=1.0, bipolar=False)
+        out = dac.convert(np.array([-0.5, 0.5]))
+        assert out[0] == 0.0
+        assert 0.0 <= out[1] <= 1.0
+
+    def test_one_bit(self):
+        dac = InputDriver(bits=1, v_max=1.0)
+        out = dac.convert(np.array([-0.9, 0.9]))
+        np.testing.assert_allclose(out, [-1.0, 1.0])
+
+
+class TestOutputConverter:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OutputConverter(bits=0)
+        with pytest.raises(ConfigurationError):
+            OutputConverter(r_tia=0.0)
+
+    def test_tia_gain(self):
+        adc = OutputConverter(bits=12, r_tia=1e3, v_full_scale=1.0)
+        out = adc.convert(np.array([5e-4]))
+        assert out[0] == pytest.approx(0.5, abs=1e-3)
+
+    def test_saturation(self):
+        adc = OutputConverter(bits=8, r_tia=1e3, v_full_scale=1.0)
+        out = adc.convert(np.array([-1.0, 1.0]))
+        np.testing.assert_allclose(out, [-1.0, 1.0])
+
+    def test_quantization_step(self, rng):
+        adc = OutputConverter(bits=5, r_tia=1.0, v_full_scale=1.0)
+        x = rng.uniform(-1, 1, 300)
+        out = adc.convert(x)
+        step = 2.0 / (2**5 - 1)
+        assert np.max(np.abs(out - x)) <= step / 2 + 1e-12

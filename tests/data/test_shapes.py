@@ -1,0 +1,88 @@
+"""Unit tests for the textured-shapes dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.shapes import (
+    SHAPE_CLASS_NAMES,
+    SHAPES,
+    TEXTURES,
+    _shape_mask,
+    _texture,
+    make_textured_shapes,
+    render_shape,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestShapeMasks:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_mask_nonempty_and_bounded(self, shape):
+        mask = _shape_mask(shape, 8.0, 8.0, 4.0)
+        assert mask.shape == (16, 16)
+        assert 4 < mask.sum() < 200
+
+    def test_circle_is_symmetric(self):
+        mask = _shape_mask("circle", 8.0, 8.0, 4.0)
+        np.testing.assert_array_equal(mask, mask.T)
+
+    def test_ring_has_hole(self):
+        ring = _shape_mask("ring", 8.0, 8.0, 5.0)
+        assert not ring[8, 8]
+
+    def test_unknown_shape(self):
+        with pytest.raises(ConfigurationError):
+            _shape_mask("pentagon", 8, 8, 4)
+
+
+class TestTextures:
+    @pytest.mark.parametrize("texture", TEXTURES)
+    def test_values_binary(self, texture):
+        field = _texture(texture, phase=0)
+        assert set(np.unique(field)) <= {0.35, 1.0}
+
+    def test_solid_is_uniform(self):
+        assert np.all(_texture("solid", 0) == 1.0)
+
+    def test_stripes_vary(self):
+        assert len(np.unique(_texture("hstripe", 0))) == 2
+
+    def test_unknown_texture(self):
+        with pytest.raises(ConfigurationError):
+            _texture("polka", 0)
+
+
+class TestRenderShape:
+    def test_shape_and_range(self, rng):
+        img = render_shape(0, rng)
+        assert img.shape == (1, 16, 16)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_rejects_bad_class(self):
+        with pytest.raises(ConfigurationError):
+            render_shape(20)
+
+    def test_class_names_cover_grid(self):
+        assert len(SHAPE_CLASS_NAMES) == len(SHAPES) * len(TEXTURES)
+        assert SHAPE_CLASS_NAMES[0] == "circle/hstripe"
+
+
+class TestMakeTexturedShapes:
+    def test_shapes(self):
+        ds = make_textured_shapes(n_train=100, n_test=40, seed=1)
+        assert ds.x_train.shape == (100, 1, 16, 16)
+        assert ds.n_classes == 20
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ConfigurationError):
+            make_textured_shapes(n_train=10, n_test=40)
+
+    def test_all_classes_present(self):
+        ds = make_textured_shapes(n_train=300, n_test=100, seed=2)
+        labels = np.concatenate([ds.y_train, ds.y_test]).argmax(axis=1)
+        assert set(labels) == set(range(20))
+
+    def test_deterministic(self):
+        a = make_textured_shapes(n_train=60, n_test=20, seed=5)
+        b = make_textured_shapes(n_train=60, n_test=20, seed=5)
+        np.testing.assert_array_equal(a.x_train, b.x_train)

@@ -1,0 +1,170 @@
+"""Unit + property tests for the Arrhenius aging model (Eq. 6-7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.aging import BOLTZMANN_EV, AgingParams, ArrheniusAging
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def calibrated():
+    params = AgingParams.calibrated(1e4, 1e5, pulses_to_collapse=1e4)
+    return ArrheniusAging(params)
+
+
+class TestAgingParams:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AgingParams(prefactor_max=-1.0, prefactor_min=0.0)
+        with pytest.raises(ConfigurationError):
+            AgingParams(1.0, 1.0, activation_energy_max=-0.1)
+        with pytest.raises(ConfigurationError):
+            AgingParams(1.0, 1.0, time_exponent_max=0.0)
+
+    def test_calibration_validation(self):
+        with pytest.raises(ConfigurationError):
+            AgingParams.calibrated(1e5, 1e4, pulses_to_collapse=100)
+        with pytest.raises(ConfigurationError):
+            AgingParams.calibrated(1e4, 1e5, pulses_to_collapse=0)
+        with pytest.raises(ConfigurationError):
+            AgingParams.calibrated(1e4, 1e5, 100, min_bound_fraction=1.0)
+
+    def test_calibration_hits_target(self, calibrated):
+        """At the calibration point the upper bound has dropped by the
+        full fresh window."""
+        t_collapse = 1e4 * 1e-6
+        drop = calibrated.degradation_max(300.0, t_collapse)
+        assert drop == pytest.approx(9e4, rel=1e-9)
+
+    def test_min_bound_fraction(self):
+        aging = ArrheniusAging(
+            AgingParams.calibrated(1e4, 1e5, 1e4, min_bound_fraction=0.5)
+        )
+        t = 1e4 * 1e-6
+        assert aging.degradation_min(300.0, t) == pytest.approx(4.5e4, rel=1e-9)
+
+
+class TestDegradation:
+    def test_zero_at_zero_time(self, calibrated):
+        assert calibrated.degradation_max(300.0, 0.0) == 0.0
+        assert calibrated.degradation_min(300.0, 0.0) == 0.0
+
+    def test_monotone_in_time(self, calibrated):
+        times = np.linspace(0, 1e-2, 20)
+        drops = calibrated.degradation_max(300.0, times)
+        assert np.all(np.diff(drops) > 0)
+
+    def test_arrhenius_temperature_acceleration(self, calibrated):
+        """Hotter devices age faster, with the exact Arrhenius ratio."""
+        cold = calibrated.degradation_max(300.0, 1e-3)
+        hot = calibrated.degradation_max(350.0, 1e-3)
+        ea = calibrated.params.activation_energy_max
+        expected = np.exp(ea / BOLTZMANN_EV * (1 / 300.0 - 1 / 350.0))
+        assert hot / cold == pytest.approx(expected, rel=1e-9)
+
+    def test_rejects_nonpositive_temperature(self, calibrated):
+        with pytest.raises(ConfigurationError):
+            calibrated.degradation_max(0.0, 1.0)
+
+    def test_vectorized_matches_scalar(self, calibrated):
+        times = np.array([1e-4, 2e-4, 3e-4])
+        vec = calibrated.degradation_max(300.0, times)
+        for t, v in zip(times, vec):
+            assert calibrated.degradation_max(300.0, float(t)) == pytest.approx(v)
+
+    def test_negative_time_clamped(self, calibrated):
+        assert calibrated.degradation_max(300.0, -1.0) == 0.0
+
+
+class TestAgedBounds:
+    def test_fresh_at_zero(self, calibrated):
+        lo, hi = calibrated.aged_bounds(1e4, 1e5, 300.0, 0.0)
+        assert (lo, hi) == (1e4, 1e5)
+
+    def test_window_shrinks_from_top(self, calibrated):
+        """f > g so the upper bound falls faster: Fig. 4's scenario."""
+        lo, hi = calibrated.aged_bounds(1e4, 1e5, 300.0, 5e-3)
+        assert hi < 1e5
+        assert lo < 1e4
+        assert (1e5 - hi) > (1e4 - lo)
+
+    def test_original_lower_bound_stays_inside(self, calibrated):
+        """Paper Section IV-B: the original lower bounds usually remain
+        in the aged range."""
+        lo, hi = calibrated.aged_bounds(1e4, 1e5, 300.0, 2e-3)
+        assert lo <= 1e4 <= hi
+
+    def test_collapse_keeps_ordering(self, calibrated):
+        lo, hi = calibrated.aged_bounds(1e4, 1e5, 300.0, 1.0)
+        assert hi >= lo >= 1.0  # positive floor
+
+    def test_array_bounds(self, calibrated):
+        stress = np.array([[0.0, 1e-3], [2e-3, 3e-3]])
+        lo, hi = calibrated.aged_bounds(
+            np.full((2, 2), 1e4), np.full((2, 2), 1e5), 300.0, stress
+        )
+        assert lo.shape == hi.shape == (2, 2)
+        assert np.all(np.diff(hi.ravel()) < 0)  # more stress, lower bound
+
+
+class TestCollapseTime:
+    def test_analytic_case(self, calibrated):
+        t = calibrated.stress_time_to_collapse(1e4, 1e5, 300.0)
+        lo, hi = calibrated.aged_bounds(1e4, 1e5, 300.0, t)
+        assert hi - lo == pytest.approx(0.0, abs=1.0)
+
+    def test_infinite_when_g_beats_f(self):
+        params = AgingParams(prefactor_max=1.0, prefactor_min=2.0)
+        aging = ArrheniusAging(params)
+        assert aging.stress_time_to_collapse(1e4, 1e5, 300.0) == float("inf")
+
+    def test_bisection_case(self):
+        params = AgingParams(
+            prefactor_max=1e10,
+            prefactor_min=1e8,
+            time_exponent_max=0.9,
+            time_exponent_min=0.7,
+        )
+        aging = ArrheniusAging(params)
+        t = aging.stress_time_to_collapse(1e4, 1e5, 300.0)
+        assert np.isfinite(t)
+        lo, hi = aging.aged_bounds(1e4, 1e5, 300.0, t)
+        assert hi - lo == pytest.approx(0.0, abs=100.0)
+
+    def test_zero_window(self, calibrated):
+        assert calibrated.stress_time_to_collapse(1e4, 1e4, 300.0) == 0.0
+
+
+class TestProperties:
+    @given(
+        t1=st.floats(0.0, 1e-2),
+        t2=st.floats(0.0, 1e-2),
+        temp=st.floats(250.0, 400.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotonicity_property(self, t1, t2, temp):
+        """Aging is irreversible: more stress never enlarges the window."""
+        aging = ArrheniusAging(AgingParams.calibrated(1e4, 1e5, 1e4))
+        lo1, hi1 = aging.aged_bounds(1e4, 1e5, temp, min(t1, t2))
+        lo2, hi2 = aging.aged_bounds(1e4, 1e5, temp, max(t1, t2))
+        assert hi2 <= hi1 + 1e-9
+        assert (hi2 - lo2) <= (hi1 - lo1) + 1e-9
+
+    @given(
+        ptc=st.floats(10.0, 1e6),
+        frac=st.floats(0.0, 0.9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_calibration_property(self, ptc, frac):
+        """For any endurance target, the window width reaches zero at
+        exactly the calibrated pulse count."""
+        aging = ArrheniusAging(
+            AgingParams.calibrated(1e4, 1e5, ptc, min_bound_fraction=frac)
+        )
+        t = ptc * 1e-6
+        f = aging.degradation_max(300.0, t)
+        g = aging.degradation_min(300.0, t)
+        assert f - g == pytest.approx((1 - frac) * 9e4, rel=1e-9)

@@ -1,0 +1,76 @@
+"""Unit tests for DeviceConfig."""
+
+import numpy as np
+import pytest
+
+from repro.device import DeviceConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = DeviceConfig()
+        assert cfg.r_min < cfg.r_max
+        assert cfg.g_min == pytest.approx(1.0 / cfg.r_max)
+        assert cfg.g_max == pytest.approx(1.0 / cfg.r_min)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(r_min=0.0),
+            dict(r_min=1e5, r_max=1e4),
+            dict(n_levels=1),
+            dict(pulse_width=0.0),
+            dict(temperature=-1.0),
+            dict(write_noise=-0.1),
+            dict(current_aging_exponent=-1.0),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(**kwargs)
+
+
+class TestFactories:
+    def test_level_grid(self):
+        cfg = DeviceConfig(n_levels=16)
+        grid = cfg.make_level_grid()
+        assert grid.n_levels == 16
+        assert grid.r_min == cfg.r_min
+
+    def test_aging_model_calibrated(self):
+        cfg = DeviceConfig(pulses_to_collapse=500)
+        aging = cfg.make_aging_model()
+        t = 500 * cfg.pulse_width
+        f = aging.degradation_max(cfg.temperature, t)
+        g = aging.degradation_min(cfg.temperature, t)
+        assert f - g == pytest.approx(
+            (1 - cfg.min_bound_fraction) * (cfg.r_max - cfg.r_min), rel=1e-9
+        )
+
+    def test_explicit_aging_params_win(self):
+        from repro.device.aging import AgingParams
+
+        params = AgingParams(prefactor_max=1.0, prefactor_min=0.5)
+        cfg = DeviceConfig(aging_params=params)
+        assert cfg.make_aging_model().params is params
+
+
+class TestStressFactor:
+    def test_unity_at_r_min(self):
+        cfg = DeviceConfig(current_aging_exponent=2.0)
+        assert cfg.stress_factor(cfg.r_min) == pytest.approx(1.0)
+
+    def test_quadratic_falloff(self):
+        cfg = DeviceConfig(current_aging_exponent=2.0)
+        assert cfg.stress_factor(2 * cfg.r_min) == pytest.approx(0.25)
+
+    def test_exponent_zero_is_uniform(self):
+        cfg = DeviceConfig(current_aging_exponent=0.0)
+        assert cfg.stress_factor(cfg.r_max) == 1.0
+
+    def test_vectorized(self):
+        cfg = DeviceConfig()
+        out = cfg.stress_factor(np.array([cfg.r_min, cfg.r_max]))
+        assert out.shape == (2,)
+        assert out[0] > out[1]

@@ -1,0 +1,75 @@
+"""Unit tests for stuck-at fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import Crossbar
+from repro.device.faults import FaultModel, inject_faults, inject_faults_network
+from repro.exceptions import ConfigurationError
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultModel(rate_lrs=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultModel(rate_lrs=0.6, rate_hrs=0.5)
+
+    def test_masks_disjoint(self):
+        model = FaultModel(rate_lrs=0.2, rate_hrs=0.2)
+        lrs, hrs = model.sample_masks((50, 50), seed=1)
+        assert not np.any(lrs & hrs)
+
+    def test_rates_approximately_met(self):
+        model = FaultModel(rate_lrs=0.1, rate_hrs=0.05)
+        lrs, hrs = model.sample_masks((200, 200), seed=2)
+        assert lrs.mean() == pytest.approx(0.1, abs=0.02)
+        assert hrs.mean() == pytest.approx(0.05, abs=0.02)
+
+    def test_zero_rates(self):
+        lrs, hrs = FaultModel().sample_masks((10, 10), seed=3)
+        assert not lrs.any() and not hrs.any()
+
+
+class TestInjectFaults:
+    def test_stuck_values_pinned(self, device_config):
+        xb = Crossbar(20, 20, device_config, seed=4)
+        lrs, hrs = inject_faults(xb, FaultModel(rate_lrs=0.1, rate_hrs=0.1), seed=5)
+        np.testing.assert_allclose(xb.resistance[lrs], xb.r_fresh_min[lrs])
+        np.testing.assert_allclose(xb.resistance[hrs], xb.r_fresh_max[hrs])
+
+    def test_stuck_devices_ignore_programming(self, device_config):
+        xb = Crossbar(20, 20, device_config, seed=6)
+        lrs, hrs = inject_faults(xb, FaultModel(rate_lrs=0.15), seed=7)
+        before = xb.resistance.copy()
+        xb.program(np.full(xb.shape, 5e4), only_changed=False)
+        np.testing.assert_array_equal(xb.resistance[lrs], before[lrs])
+        # Healthy devices did move.
+        healthy = ~(lrs | hrs)
+        assert not np.allclose(xb.resistance[healthy], before[healthy])
+
+    def test_stuck_devices_count_as_dead(self, device_config):
+        xb = Crossbar(10, 10, device_config, seed=8)
+        lrs, hrs = inject_faults(xb, FaultModel(rate_lrs=0.2), seed=9)
+        assert xb.dead_mask()[lrs].all()
+
+    def test_network_injection_fraction(self, trained_mlp, device_config):
+        from repro.mapping import MappedNetwork
+
+        net = MappedNetwork(trained_mlp, device_config, seed=10)
+        realized = inject_faults_network(net, FaultModel(rate_lrs=0.08), seed=11)
+        assert realized == pytest.approx(0.08, abs=0.05)
+        assert net.dead_fraction() >= realized - 1e-9
+
+    def test_accuracy_degrades_with_faults(self, trained_mlp, device_config, blob_dataset):
+        from repro.mapping import MappedNetwork
+
+        clean = MappedNetwork(trained_mlp, device_config, seed=12)
+        clean.map_network()
+        acc_clean = clean.score(blob_dataset.x_test, blob_dataset.y_test)
+
+        faulty = MappedNetwork(trained_mlp, device_config, seed=12)
+        inject_faults_network(faulty, FaultModel(rate_lrs=0.3, rate_hrs=0.3), seed=13)
+        faulty.map_network()
+        acc_faulty = faulty.score(blob_dataset.x_test, blob_dataset.y_test)
+        assert acc_faulty <= acc_clean

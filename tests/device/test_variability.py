@@ -1,0 +1,49 @@
+"""Unit tests for device-to-device variability."""
+
+import numpy as np
+import pytest
+
+from repro.device.variability import DeviceVariability
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            DeviceVariability(sigma_min=-0.1)
+
+    def test_rejects_bad_window_ratio(self):
+        with pytest.raises(ConfigurationError):
+            DeviceVariability(min_window_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            DeviceVariability(min_window_ratio=1.5)
+
+
+class TestSampling:
+    def test_shapes(self):
+        var = DeviceVariability(0.05, 0.05)
+        lo, hi = var.sample_bounds(1e4, 1e5, (6, 7), seed=1)
+        assert lo.shape == hi.shape == (6, 7)
+
+    def test_spread_matches_sigma(self):
+        var = DeviceVariability(sigma_min=0.1, sigma_max=0.1)
+        lo, _hi = var.sample_bounds(1e4, 1e5, (200, 200), seed=2)
+        assert np.std(np.log(lo)) == pytest.approx(0.1, rel=0.05)
+
+    def test_zero_sigma_is_nominal(self):
+        var = DeviceVariability(0.0, 0.0)
+        lo, hi = var.sample_bounds(1e4, 1e5, (3, 3), seed=3)
+        np.testing.assert_allclose(lo, 1e4)
+        np.testing.assert_allclose(hi, 1e5)
+
+    def test_window_floor_enforced(self):
+        var = DeviceVariability(sigma_min=0.5, sigma_max=0.5, min_window_ratio=0.3)
+        lo, hi = var.sample_bounds(1e4, 1e5, (100, 100), seed=4)
+        assert np.all(hi - lo >= 0.3 * 9e4 - 1e-9)
+
+    def test_deterministic(self):
+        var = DeviceVariability()
+        a = var.sample_bounds(1e4, 1e5, (4, 4), seed=9)
+        b = var.sample_bounds(1e4, 1e5, (4, 4), seed=9)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])

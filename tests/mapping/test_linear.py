@@ -1,0 +1,105 @@
+"""Unit + property tests for the Eq. (4) linear mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.mapping.linear import LinearWeightMapping
+
+
+@pytest.fixture()
+def mapping():
+    return LinearWeightMapping(w_min=-1.0, w_max=1.0, g_min=1e-5, g_max=1e-4)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearWeightMapping(1.0, -1.0, 1e-5, 1e-4)
+        with pytest.raises(ConfigurationError):
+            LinearWeightMapping(-1.0, 1.0, 0.0, 1e-4)
+        with pytest.raises(ConfigurationError):
+            LinearWeightMapping(-1.0, 1.0, 1e-4, 1e-5)
+
+    def test_from_weights(self, rng):
+        w = rng.normal(size=(4, 4))
+        m = LinearWeightMapping.from_weights(w, 1e-5, 1e-4)
+        assert m.w_min == w.min() and m.w_max == w.max()
+
+    def test_from_weights_degenerate(self):
+        m = LinearWeightMapping.from_weights(np.full((2, 2), 0.5), 1e-5, 1e-4)
+        assert m.w_min < 0.5 < m.w_max
+
+    def test_from_resistance_range(self, rng):
+        w = rng.normal(size=10)
+        m = LinearWeightMapping.from_resistance_range(w, 1e4, 1e5)
+        assert m.g_min == pytest.approx(1e-5)
+        assert m.g_max == pytest.approx(1e-4)
+
+    def test_from_resistance_range_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearWeightMapping.from_resistance_range(np.zeros(3), 1e5, 1e4)
+
+
+class TestEndpoints:
+    def test_eq4_endpoints(self, mapping):
+        """Eq. (4): w_min -> g_min, w_max -> g_max."""
+        assert mapping.weight_to_conductance(-1.0) == pytest.approx(1e-5)
+        assert mapping.weight_to_conductance(1.0) == pytest.approx(1e-4)
+
+    def test_resistance_endpoints(self, mapping):
+        assert mapping.weight_to_resistance(-1.0) == pytest.approx(1e5)
+        assert mapping.weight_to_resistance(1.0) == pytest.approx(1e4)
+
+    def test_out_of_range_weights_clip(self, mapping):
+        assert mapping.weight_to_conductance(5.0) == pytest.approx(1e-4)
+        assert mapping.weight_to_conductance(-5.0) == pytest.approx(1e-5)
+
+    def test_slope_positive(self, mapping):
+        assert mapping.slope > 0
+
+
+class TestInverse:
+    def test_roundtrip_in_range(self, mapping, rng):
+        w = rng.uniform(-1, 1, size=(3, 5))
+        g = mapping.weight_to_conductance(w)
+        np.testing.assert_allclose(mapping.conductance_to_weight(g), w, atol=1e-12)
+
+    def test_resistance_roundtrip(self, mapping, rng):
+        w = rng.uniform(-1, 1, size=20)
+        r = mapping.weight_to_resistance(w)
+        np.testing.assert_allclose(mapping.resistance_to_weight(r), w, atol=1e-12)
+
+    def test_inverse_not_clipped(self, mapping):
+        """Aged devices can sit outside the nominal range; the inverse
+        must report the true (out-of-range) effective weight."""
+        w = mapping.conductance_to_weight(2e-4)
+        assert w > 1.0
+
+
+class TestProperties:
+    @given(
+        w_lo=st.floats(-10.0, 0.0),
+        span=st.floats(0.1, 20.0),
+        w=st.floats(-10.0, 10.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_property(self, w_lo, span, w):
+        """Bigger weight -> bigger conductance -> smaller resistance."""
+        m = LinearWeightMapping(w_lo, w_lo + span, 1e-5, 1e-4)
+        w2 = w + 0.05 * span
+        g1, g2 = m.weight_to_conductance(w), m.weight_to_conductance(w2)
+        assert g2 >= g1
+        assert m.weight_to_resistance(w2) <= m.weight_to_resistance(w)
+
+    @given(
+        w=st.lists(st.floats(-1.0, 1.0), min_size=1, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, w):
+        m = LinearWeightMapping(-1.0, 1.0, 1e-5, 1e-4)
+        arr = np.asarray(w)
+        back = m.conductance_to_weight(m.weight_to_conductance(arr))
+        np.testing.assert_allclose(back, arr, atol=1e-9)

@@ -1,0 +1,105 @@
+"""Unit tests for row-swapping wear levelling (paper ref [12])."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mitigation import RowSwapper
+
+
+class TestValidation:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            RowSwapper(max_swaps_per_cycle=0)
+        with pytest.raises(ConfigurationError):
+            RowSwapper(threshold=1.5)
+
+
+class TestPermutations:
+    def test_identity_initially(self, mapped_mlp):
+        swapper = RowSwapper()
+        layer = mapped_mlp.layers[0]
+        np.testing.assert_array_equal(
+            swapper.permutation_for(layer), np.arange(layer.matrix_shape[0])
+        )
+
+    def test_no_swaps_on_uniform_stress(self, mapped_mlp):
+        swapper = RowSwapper()
+        layer = mapped_mlp.layers[0]
+        assert swapper.maintain(layer) == 0
+
+    def test_hot_rows_swapped_with_cold(self, mapped_mlp):
+        swapper = RowSwapper(max_swaps_per_cycle=2, threshold=0.1)
+        layer = mapped_mlp.layers[0]
+        # Pulse only row 0 heavily: it becomes the hottest row.
+        directions = np.zeros(layer.matrix_shape, dtype=int)
+        directions[0, :] = 1
+        for _ in range(10):
+            layer.tiles.step_conductance(directions)
+        swaps = swapper.maintain(layer)
+        assert swaps >= 1
+        perm = swapper.permutation_for(layer)
+        assert perm[0] != 0  # logical row 0 moved off the hot physical row
+
+    def test_computation_preserved_under_permutation(self, mapped_mlp, blob_dataset):
+        """Swapping rows then remapping must not change the computed
+        function (beyond reprogramming noise)."""
+        x, y = blob_dataset.x_test, blob_dataset.y_test
+        acc_before = mapped_mlp.score(x, y)
+        swapper = RowSwapper(max_swaps_per_cycle=4, threshold=0.0)
+        layer = mapped_mlp.layers[0]
+        directions = np.zeros(layer.matrix_shape, dtype=int)
+        directions[0, :] = 1
+        for _ in range(5):
+            layer.tiles.step_conductance(directions)
+        swapper.apply_to_network(mapped_mlp)
+        mapped_mlp.map_network()  # reprogram under the new permutation
+        acc_after = mapped_mlp.score(x, y)
+        assert acc_after >= acc_before - 0.05
+
+    def test_round_trip_matrices(self, mapped_mlp, rng):
+        swapper = RowSwapper()
+        layer = mapped_mlp.layers[0]
+        perm = rng.permutation(layer.matrix_shape[0])
+        swapper.permutations[layer.layer_index] = perm
+        logical = rng.normal(size=layer.matrix_shape)
+        physical = swapper.permuted_targets(layer, logical)
+        np.testing.assert_array_equal(swapper.unpermute_matrix(layer, physical), logical)
+
+    def test_apply_to_network_installs_permutations(self, mapped_mlp):
+        swapper = RowSwapper(threshold=0.0)
+        layer = mapped_mlp.layers[0]
+        directions = np.zeros(layer.matrix_shape, dtype=int)
+        directions[0, :] = 1
+        for _ in range(5):
+            layer.tiles.step_conductance(directions)
+        swapper.apply_to_network(mapped_mlp)
+        assert mapped_mlp.layers[0].row_permutation is not None
+
+
+class TestMappedLayerPermutation:
+    def test_rejects_non_permutation(self, mapped_mlp):
+        with pytest.raises(ConfigurationError):
+            mapped_mlp.layers[0].set_row_permutation(np.zeros(4, dtype=int))
+
+    def test_physical_logical_roundtrip(self, mapped_mlp, rng):
+        layer = mapped_mlp.layers[0]
+        layer.set_row_permutation(rng.permutation(layer.matrix_shape[0]))
+        logical = rng.normal(size=layer.matrix_shape)
+        np.testing.assert_array_equal(
+            layer._to_logical(layer._to_physical(logical)), logical
+        )
+        layer.set_row_permutation(None)
+
+    def test_hardware_matrix_respects_permutation(self, mapped_mlp, blob_dataset):
+        """Program under a permutation; the reconstructed logical
+        weights must match the unpermuted ones."""
+        layer = mapped_mlp.layers[0]
+        before = layer.hardware_matrix()
+        perm = np.roll(np.arange(layer.matrix_shape[0]), 1)
+        layer.set_row_permutation(perm)
+        layer.program()
+        after = layer.hardware_matrix()
+        # Same logical weights (up to one reprogram's quantization).
+        assert np.max(np.abs(after - before)) < 0.3
+        layer.set_row_permutation(None)

@@ -1,0 +1,91 @@
+"""Unit tests for activation functions (values + analytic derivatives)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.activations import (
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    get_activation,
+)
+
+
+def numeric_jacobian_diag(fn, x, eps=1e-6):
+    """Diagonal of the Jacobian for elementwise activations."""
+    return (fn.forward(x + eps) - fn.forward(x - eps)) / (2 * eps)
+
+
+ELEMENTWISE = [Identity(), ReLU(), LeakyReLU(0.1), Sigmoid(), Tanh()]
+
+
+class TestForwardValues:
+    def test_relu_clamps_negative(self):
+        out = ReLU().forward(np.array([-2.0, 0.0, 3.0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 3.0])
+
+    def test_leaky_relu_slope(self):
+        out = LeakyReLU(0.1).forward(np.array([-10.0, 10.0]))
+        np.testing.assert_allclose(out, [-1.0, 10.0])
+
+    def test_leaky_relu_rejects_negative_alpha(self):
+        with pytest.raises(ConfigurationError):
+            LeakyReLU(-0.5)
+
+    def test_sigmoid_extremes_are_stable(self):
+        out = Sigmoid().forward(np.array([-1000.0, 0.0, 1000.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_tanh_matches_numpy(self, rng):
+        x = rng.normal(size=20)
+        np.testing.assert_allclose(Tanh().forward(x), np.tanh(x))
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(8, 5)) * 50
+        p = Softmax().forward(x)
+        np.testing.assert_allclose(p.sum(axis=1), np.ones(8))
+        assert np.all(p >= 0)
+
+
+class TestBackwardMatchesNumeric:
+    @pytest.mark.parametrize("fn", ELEMENTWISE, ids=lambda f: f.name)
+    def test_elementwise_derivative(self, fn, rng):
+        # Avoid the ReLU kink at exactly 0.
+        x = rng.normal(size=50)
+        x[np.abs(x) < 1e-3] = 0.1
+        y = fn.forward(x)
+        grad = fn.backward(x, y, np.ones_like(x))
+        np.testing.assert_allclose(grad, numeric_jacobian_diag(fn, x), atol=1e-5)
+
+    def test_softmax_full_jacobian(self, rng):
+        fn = Softmax()
+        x = rng.normal(size=(1, 4))
+        upstream = rng.normal(size=(1, 4))
+        y = fn.forward(x)
+        analytic = fn.backward(x, y, upstream)
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for j in range(4):
+            xp, xm = x.copy(), x.copy()
+            xp[0, j] += eps
+            xm[0, j] -= eps
+            numeric[0, j] = np.sum(upstream * (fn.forward(xp) - fn.forward(xm))) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_activation("relu"), ReLU)
+        assert isinstance(get_activation("linear"), Identity)
+
+    def test_passthrough(self):
+        fn = Tanh()
+        assert get_activation(fn) is fn
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_activation("swish9000")

@@ -1,0 +1,92 @@
+"""Whole-model gradient checking — validates the backprop engine
+end-to-end, including conv/pool stacks and the skewed regularizer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Activation,
+    Adam,
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    Sequential,
+    SkewedL2Regularizer,
+    check_gradients,
+    numerical_gradient,
+)
+from repro.nn.losses import MeanSquaredError
+
+TOL = 1e-4
+
+
+def batch_for(model, n, n_classes, rng):
+    x = rng.normal(size=(n,) + model.input_shape)
+    y = np.eye(n_classes)[rng.integers(0, n_classes, n)]
+    return x, y
+
+
+class TestNumericalGradient:
+    def test_quadratic(self):
+        x = np.array([3.0, -2.0])
+        grad = numerical_gradient(lambda: float(np.sum(x**2)), x)
+        np.testing.assert_allclose(grad, [6.0, -4.0], atol=1e-5)
+
+
+class TestModelGradients:
+    def test_mlp(self, rng):
+        model = Sequential([Dense(6), Activation("tanh"), Dense(3)], seed=1).build((4,))
+        x, y = batch_for(model, 4, 3, rng)
+        errors = check_gradients(model, x, y)
+        assert max(errors.values()) < TOL
+
+    def test_mlp_with_skewed_regularizer(self, rng):
+        model = Sequential([Dense(6), Activation("tanh"), Dense(3)], seed=2).build((4,))
+        model.set_regularizers(SkewedL2Regularizer(beta=-0.05, lambda1=0.1, lambda2=0.01))
+        x, y = batch_for(model, 4, 3, rng)
+        errors = check_gradients(model, x, y)
+        assert max(errors.values()) < TOL
+
+    def test_conv_pool_stack(self, rng):
+        model = Sequential(
+            [
+                Conv2D(3, 3),
+                Activation("relu"),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(3),
+            ],
+            seed=3,
+        ).build((1, 6, 6))
+        x, y = batch_for(model, 3, 3, rng)
+        errors = check_gradients(model, x, y)
+        assert max(errors.values()) < 1e-3  # relu kinks allow slightly more
+
+    def test_avgpool_and_padding(self, rng):
+        model = Sequential(
+            [Conv2D(2, 3, padding=1), Activation("tanh"), AvgPool2D(2), Flatten(), Dense(2)],
+            seed=4,
+        ).build((1, 4, 4))
+        x, y = batch_for(model, 3, 2, rng)
+        errors = check_gradients(model, x, y)
+        assert max(errors.values()) < TOL
+
+    def test_batchnorm_model(self, rng):
+        model = Sequential(
+            [Dense(5), BatchNorm(), Activation("tanh"), Dense(2)], seed=5
+        ).build((3,))
+        x, y = batch_for(model, 6, 2, rng)
+        errors = check_gradients(model, x, y)
+        assert max(errors.values()) < 1e-3
+
+    def test_mse_head(self, rng):
+        model = Sequential(
+            [Dense(4), Activation("sigmoid"), Dense(2)], loss=MeanSquaredError(), seed=6
+        ).build((3,))
+        x = rng.normal(size=(4, 3))
+        y = rng.normal(size=(4, 2))
+        errors = check_gradients(model, x, y)
+        assert max(errors.values()) < TOL

@@ -1,0 +1,166 @@
+"""Unit tests for the Sequential model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn import (
+    Activation,
+    Adam,
+    Dense,
+    L2Regularizer,
+    Sequential,
+    SkewedL2Regularizer,
+)
+from repro.nn.schedules import StepLR
+
+
+@pytest.fixture()
+def tiny_model():
+    return Sequential(
+        [Dense(8), Activation("relu"), Dense(3)], optimizer=Adam(0.01), seed=7
+    ).build((4,))
+
+
+@pytest.fixture()
+def batch(rng):
+    x = rng.normal(size=(16, 4))
+    y = np.eye(3)[rng.integers(0, 3, 16)]
+    return x, y
+
+
+class TestConstruction:
+    def test_requires_layers(self):
+        with pytest.raises(ConfigurationError):
+            Sequential([])
+
+    def test_forward_before_build_raises(self):
+        model = Sequential([Dense(2)])
+        with pytest.raises(ConfigurationError, match="not built"):
+            model.forward(np.zeros((1, 4)))
+
+    def test_summary_lists_layers(self, tiny_model):
+        text = tiny_model.summary()
+        assert "Dense" in text and "total params" in text
+
+    def test_num_params(self, tiny_model):
+        assert tiny_model.num_params() == (4 * 8 + 8) + (8 * 3 + 3)
+
+    def test_weighted_layers(self, tiny_model):
+        assert [i for i, _l in tiny_model.weighted_layers()] == [0, 2]
+
+
+class TestRegularizers:
+    def test_single_regularizer_applies_to_all(self, tiny_model):
+        tiny_model.set_regularizers(L2Regularizer(0.1))
+        assert tiny_model.regularizer_for(0) is not None
+        assert tiny_model.regularizer_for(2) is not None
+        assert tiny_model.regularization_penalty() > 0
+
+    def test_per_layer_mapping(self, tiny_model):
+        reg = SkewedL2Regularizer(0.0, 1.0, 0.1)
+        tiny_model.set_regularizers({0: reg})
+        assert tiny_model.regularizer_for(0) is reg
+        assert tiny_model.regularizer_for(2) is None
+
+    def test_rejects_non_weighted_index(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            tiny_model.set_regularizers({1: L2Regularizer()})
+
+    def test_rejects_out_of_range_index(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            tiny_model.set_regularizers({99: L2Regularizer()})
+
+    def test_clear(self, tiny_model):
+        tiny_model.set_regularizers(L2Regularizer(0.1))
+        tiny_model.set_regularizers(None)
+        assert tiny_model.regularization_penalty() == 0.0
+
+
+class TestTraining:
+    def test_fit_reduces_loss(self, tiny_model, batch):
+        x, y = batch
+        history = tiny_model.fit(x, y, epochs=30, batch_size=8)
+        assert history.loss[-1] < history.loss[0]
+        assert len(history.loss) == 30
+
+    def test_fit_validates_lengths(self, tiny_model, batch):
+        x, y = batch
+        with pytest.raises(ShapeError):
+            tiny_model.fit(x, y[:-1], epochs=1)
+
+    def test_schedule_sets_lr(self, tiny_model, batch):
+        x, y = batch
+        history = tiny_model.fit(
+            x, y, epochs=4, schedule=StepLR(0.1, step_size=2, gamma=0.1)
+        )
+        assert history.lr == pytest.approx([0.1, 0.1, 0.01, 0.01])
+
+    def test_validation_metrics_recorded(self, tiny_model, batch):
+        x, y = batch
+        history = tiny_model.fit(x, y, epochs=2, validation_data=(x, y))
+        assert len(history.val_accuracy) == 2
+
+    def test_history_last(self, tiny_model, batch):
+        x, y = batch
+        history = tiny_model.fit(x, y, epochs=2)
+        last = history.last()
+        assert set(last) >= {"loss", "accuracy", "lr"}
+
+
+class TestPredictEvaluate:
+    def test_predict_shape_and_batching(self, tiny_model, rng):
+        x = rng.normal(size=(30, 4))
+        out = tiny_model.predict(x, batch_size=7)
+        assert out.shape == (30, 3)
+
+    def test_predict_classes(self, tiny_model, rng):
+        x = rng.normal(size=(5, 4))
+        classes = tiny_model.predict_classes(x)
+        assert classes.shape == (5,)
+        assert set(classes) <= {0, 1, 2}
+
+    def test_evaluate_consistency(self, tiny_model, batch):
+        x, y = batch
+        loss, acc = tiny_model.evaluate(x, y)
+        assert 0.0 <= acc <= 1.0
+        assert loss > 0
+        assert tiny_model.score(x, y) == acc
+
+
+class TestWeightSnapshots:
+    def test_roundtrip(self, tiny_model, batch):
+        x, y = batch
+        snap = tiny_model.get_weights()
+        before = tiny_model.predict(x)
+        tiny_model.fit(x, y, epochs=3)
+        assert not np.allclose(before, tiny_model.predict(x))
+        tiny_model.set_weights(snap)
+        np.testing.assert_allclose(tiny_model.predict(x), before)
+
+    def test_snapshot_is_a_copy(self, tiny_model):
+        snap = tiny_model.get_weights()
+        snap[0]["W"][...] = 99.0
+        assert not np.any(tiny_model.layers[0].params["W"] == 99.0)
+
+    def test_set_weights_length_check(self, tiny_model):
+        with pytest.raises(ShapeError):
+            tiny_model.set_weights([])
+
+    def test_all_weight_values_size(self, tiny_model):
+        flat = tiny_model.all_weight_values()
+        assert flat.size == 4 * 8 + 8 * 3  # weights only, no biases
+
+
+class TestDeterminism:
+    def test_same_seed_same_training(self, batch):
+        x, y = batch
+
+        def run():
+            m = Sequential(
+                [Dense(8), Activation("relu"), Dense(3)], optimizer=Adam(0.01), seed=3
+            ).build((4,))
+            m.fit(x, y, epochs=5, batch_size=4)
+            return m.predict(x)
+
+        np.testing.assert_array_equal(run(), run())

@@ -1,0 +1,85 @@
+"""Unit tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.optimizers import SGD, Adam, Momentum, RMSProp
+
+
+def quadratic_descent(optimizer, steps=500, start=5.0):
+    """Minimize f(x) = x^2 and return the final |x|."""
+    x = np.array([start])
+    for _ in range(steps):
+        optimizer.begin_step()
+        optimizer.update(x, 2.0 * x)
+    return float(np.abs(x[0]))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("cls", [SGD, Momentum, RMSProp, Adam])
+    def test_rejects_nonpositive_lr(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(lr=0.0)
+
+    def test_momentum_range(self):
+        with pytest.raises(ConfigurationError):
+            Momentum(momentum=1.0)
+
+    def test_adam_beta_range(self):
+        with pytest.raises(ConfigurationError):
+            Adam(beta1=1.0)
+
+    def test_rmsprop_rho_range(self):
+        with pytest.raises(ConfigurationError):
+            RMSProp(rho=-0.1)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "optimizer",
+        [SGD(0.1), Momentum(0.05, 0.9), Momentum(0.05, 0.9, nesterov=True),
+         RMSProp(0.02), Adam(0.3)],
+        ids=["sgd", "momentum", "nesterov", "rmsprop", "adam"],
+    )
+    def test_minimizes_quadratic(self, optimizer):
+        assert quadratic_descent(optimizer) < 1e-2
+
+
+class TestMechanics:
+    def test_sgd_step_is_lr_times_grad(self):
+        opt = SGD(0.5)
+        x = np.array([1.0, 2.0])
+        opt.update(x, np.array([1.0, -1.0]))
+        np.testing.assert_allclose(x, [0.5, 2.5])
+
+    def test_momentum_accumulates_velocity(self):
+        opt = Momentum(lr=1.0, momentum=0.5)
+        x = np.array([0.0])
+        opt.update(x, np.array([1.0]))  # v=-1, x=-1
+        opt.update(x, np.array([1.0]))  # v=-1.5, x=-2.5
+        np.testing.assert_allclose(x, [-2.5])
+
+    def test_adam_first_step_is_approximately_lr(self):
+        opt = Adam(lr=0.1)
+        x = np.array([1.0])
+        opt.begin_step()
+        opt.update(x, np.array([1e-4]))
+        # Bias correction makes the first step ~lr regardless of grad scale.
+        assert x[0] == pytest.approx(1.0 - 0.1, abs=1e-3)
+
+    def test_state_is_per_parameter(self):
+        opt = Adam(0.1)
+        a, b = np.array([1.0]), np.array([1.0])
+        opt.begin_step()
+        opt.update(a, np.array([1.0]))
+        assert opt.state_for(a) and not opt.state_for(b)
+
+    def test_reset_clears_state(self):
+        opt = Momentum(0.1)
+        x = np.array([1.0])
+        opt.begin_step()
+        opt.update(x, np.array([1.0]))
+        opt.reset()
+        assert opt.iterations == 0
+        assert opt.state_for(x) == {}

@@ -1,0 +1,62 @@
+"""Unit tests for learning-rate schedules."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.schedules import ConstantLR, CosineLR, ExponentialLR, StepLR
+
+
+class TestConstant:
+    def test_constant(self):
+        s = ConstantLR(0.01)
+        assert s(0) == s(100) == 0.01
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLR(0.0)
+
+
+class TestStep:
+    def test_decays_every_step_size(self):
+        s = StepLR(1.0, step_size=10, gamma=0.1)
+        assert s(0) == 1.0
+        assert s(9) == 1.0
+        assert s(10) == pytest.approx(0.1)
+        assert s(25) == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StepLR(1.0, step_size=0)
+        with pytest.raises(ConfigurationError):
+            StepLR(1.0, step_size=5, gamma=0.0)
+
+
+class TestExponential:
+    def test_geometric_decay(self):
+        s = ExponentialLR(1.0, gamma=0.5)
+        assert s(3) == pytest.approx(0.125)
+
+    def test_gamma_one_is_constant(self):
+        s = ExponentialLR(0.2, gamma=1.0)
+        assert s(50) == 0.2
+
+
+class TestCosine:
+    def test_endpoints(self):
+        s = CosineLR(1.0, total_epochs=10, min_lr=0.1)
+        assert s(0) == pytest.approx(1.0)
+        assert s(10) == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        s = CosineLR(1.0, total_epochs=10, min_lr=0.0)
+        assert s(5) == pytest.approx(0.5)
+
+    def test_clamps_beyond_horizon(self):
+        s = CosineLR(1.0, total_epochs=10, min_lr=0.1)
+        assert s(50) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CosineLR(1.0, total_epochs=0)
+        with pytest.raises(ConfigurationError):
+            CosineLR(0.1, total_epochs=5, min_lr=0.5)

@@ -1,0 +1,39 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    CrossbarFailure,
+    DeviceError,
+    ReproError,
+    ShapeError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigurationError, ConvergenceError, CrossbarFailure, DeviceError, ShapeError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        """Callers using plain ValueError handling still catch us."""
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(ShapeError, ValueError)
+
+    def test_runtime_family(self):
+        assert issubclass(ConvergenceError, RuntimeError)
+        assert issubclass(CrossbarFailure, RuntimeError)
+
+    def test_crossbar_failure_carries_progress(self):
+        failure = CrossbarFailure("dead", applications_completed=12345)
+        assert failure.applications_completed == 12345
+        assert "dead" in str(failure)
+
+    def test_catch_all(self):
+        with pytest.raises(ReproError):
+            raise DeviceError("boom")

@@ -1,0 +1,42 @@
+"""Unit tests for baseline training."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.training import TrainConfig, build_mlp, train_baseline
+
+
+class TestTrainConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ConfigurationError):
+            TrainConfig(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            TrainConfig(l2_lambda=-1.0)
+
+
+class TestTrainBaseline:
+    def test_learns_blobs(self, blob_dataset):
+        model = build_mlp(4, 3, hidden=(16,), seed=1)
+        history = train_baseline(model, blob_dataset, TrainConfig(epochs=20))
+        assert history.val_accuracy[-1] > 0.9
+
+    def test_l2_regularizer_installed(self, blob_dataset):
+        model = build_mlp(4, 3, hidden=(8,), seed=2)
+        train_baseline(model, blob_dataset, TrainConfig(epochs=1, l2_lambda=0.01))
+        assert model.regularization_penalty() > 0
+
+    def test_zero_l2_clears_regularizers(self, blob_dataset):
+        model = build_mlp(4, 3, hidden=(8,), seed=3)
+        train_baseline(model, blob_dataset, TrainConfig(epochs=1, l2_lambda=0.0))
+        assert model.regularization_penalty() == 0.0
+
+    def test_l2_shrinks_weights(self, blob_dataset):
+        import numpy as np
+
+        weak = build_mlp(4, 3, hidden=(16,), seed=4)
+        strong = build_mlp(4, 3, hidden=(16,), seed=4)
+        train_baseline(weak, blob_dataset, TrainConfig(epochs=15, l2_lambda=1e-5))
+        train_baseline(strong, blob_dataset, TrainConfig(epochs=15, l2_lambda=1e-1))
+        assert np.std(strong.all_weight_values()) < np.std(weak.all_weight_values())

@@ -11,6 +11,7 @@ and the output directory keeps it.
 
 from __future__ import annotations
 
+import os
 import pathlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict
@@ -29,6 +30,19 @@ OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 def output_dir() -> pathlib.Path:
     OUTPUT_DIR.mkdir(exist_ok=True)
     return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_workers() -> int:
+    """Worker processes for the ablation sweeps.
+
+    The ablations submit their points through the execution engine
+    (:class:`repro.core.Sweep`), whose per-point seeds are derivation
+    based — results are bit-identical at any worker count.  Set
+    ``REPRO_BENCH_WORKERS=4`` to fan points out across processes;
+    the default of 1 runs in-process.
+    """
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 @pytest.fixture(scope="session")

@@ -22,10 +22,14 @@ from repro.tuning import TuningConfig
 GAMMAS = (0.0, 1.0, 2.0, 3.0)
 
 
-def run(lab):
+def run(lab, workers=1):
     cfg = lab.preset.framework_config
     x = lab.dataset.x_train[:192]
     y = lab.dataset.y_train[:192]
+    # Train in the parent before fanning out so worker processes inherit
+    # the cached models instead of each retraining from scratch.
+    for skewed in (False, True):
+        lab.framework.trained_model(skewed)
 
     def evaluate(gamma, rng):
         device = replace(cfg.device, current_aging_exponent=float(gamma))
@@ -58,11 +62,13 @@ def run(lab):
         }
 
     sweep = Sweep("gamma", evaluate, seed=2024)
-    return sweep.run(GAMMAS)
+    return sweep.run(GAMMAS, workers=workers)
 
 
-def test_ablation_aging_exponent(benchmark, lenet_lab, report):
-    result = benchmark.pedantic(lambda: run(lenet_lab), rounds=1, iterations=1)
+def test_ablation_aging_exponent(benchmark, lenet_lab, report, bench_workers):
+    result = benchmark.pedantic(
+        lambda: run(lenet_lab, workers=bench_workers), rounds=1, iterations=1
+    )
     report(
         "ablation_aging_exponent",
         render_table(

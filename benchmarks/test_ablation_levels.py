@@ -9,6 +9,7 @@ level placement matters).
 """
 
 from repro.analysis import render_table
+from repro.core import Sweep
 from repro.device import DeviceConfig
 from repro.mapping import MappedNetwork
 from repro.mapping.network import clone_model
@@ -17,31 +18,50 @@ from repro.tuning import OnlineTuner, TuningConfig
 LEVELS = (8, 16, 32, 64)
 
 
-def run(lab):
+def run(lab, workers=1):
     x = lab.dataset.x_train[:192]
     y = lab.dataset.y_train[:192]
-    rows = []
+    # Train in the parent so worker processes inherit the cached models.
     for skewed in (False, True):
+        lab.framework.trained_model(skewed)
+
+    def evaluate(point, rng):
+        skewed, n_levels = point
         model = lab.framework.trained_model(skewed)
         target = 0.9 * lab.framework.software_accuracy(skewed)
-        for n_levels in LEVELS:
-            cfg = DeviceConfig(n_levels=n_levels, pulses_to_collapse=1e5)
-            net = MappedNetwork(clone_model(model), cfg, seed=7)
-            net.map_network()
-            premap = net.score(x, y)
-            tuner = OnlineTuner(
-                TuningConfig(target_accuracy=target, max_iterations=80), seed=8
-            )
-            result = tuner.tune(net, x, y)
-            rows.append(
-                ("skewed" if skewed else "baseline", n_levels, premap,
-                 result.iterations, result.converged)
-            )
-    return rows
+        cfg = DeviceConfig(n_levels=n_levels, pulses_to_collapse=1e5)
+        net = MappedNetwork(clone_model(model), cfg, seed=7)
+        net.map_network()
+        premap = net.score(x, y)
+        tuner = OnlineTuner(
+            TuningConfig(target_accuracy=target, max_iterations=80), seed=8
+        )
+        result = tuner.tune(net, x, y)
+        return {
+            "premap": premap,
+            "iterations": float(result.iterations),
+            "converged": float(result.converged),
+        }
+
+    sweep = Sweep("training/levels", evaluate, seed=2024)
+    points = [(skewed, n) for skewed in (False, True) for n in LEVELS]
+    result = sweep.run(points, fail_fast=True, workers=workers)
+    return [
+        (
+            "skewed" if value[0] else "baseline",
+            value[1],
+            p.metrics["premap"],
+            int(p.metrics["iterations"]),
+            bool(p.metrics["converged"]),
+        )
+        for value, p in zip(points, result.points)
+    ]
 
 
-def test_ablation_levels(benchmark, lenet_lab, report):
-    rows = benchmark.pedantic(lambda: run(lenet_lab), rounds=1, iterations=1)
+def test_ablation_levels(benchmark, lenet_lab, report, bench_workers):
+    rows = benchmark.pedantic(
+        lambda: run(lenet_lab, workers=bench_workers), rounds=1, iterations=1
+    )
     report(
         "ablation_levels",
         render_table(

@@ -15,10 +15,13 @@ The iterative policy must match or beat the fixed heuristics.
 import numpy as np
 
 from repro.analysis import render_table
+from repro.core import Sweep
 from repro.device import DeviceConfig
 from repro.mapping import AgingAwareMapper, MappedNetwork
 from repro.mapping.fresh import FreshMapper
 from repro.mapping.network import clone_model
+
+POLICIES = ("fresh", "min", "max", "iterative")
 
 
 def age_network(net, rng, rounds=60):
@@ -29,48 +32,39 @@ def age_network(net, rng, rounds=60):
             layer.tiles.step_conductance(hot.astype(int))
 
 
-def run(lab):
+def run(lab, workers=1):
     x = lab.dataset.x_train[:192]
     y = lab.dataset.y_train[:192]
-    model = lab.framework.trained_model(True)
-    rows = []
+    model = lab.framework.trained_model(True)  # trained before fan-out
 
-    def fresh_policy(net):
-        net.map_network(FreshMapper())
-
-    def min_policy(net):
-        for layer in net.layers:
-            uppers = layer.traced_upper_bounds()
-            layer.set_range(net.device_config.r_min, float(np.min(uppers)))
-            layer.program()
-
-    def max_policy(net):
-        for layer in net.layers:
-            uppers = layer.traced_upper_bounds()
-            layer.set_range(net.device_config.r_min, float(np.max(uppers)))
-            layer.program()
-
-    def iterative_policy(net):
-        net.map_network(AgingAwareMapper(), selection_data=(x, y))
-
-    policies = [
-        ("fresh", fresh_policy),
-        ("min", min_policy),
-        ("max", max_policy),
-        ("iterative", iterative_policy),
-    ]
-    for name, apply_policy in policies:
+    def evaluate(policy, rng):
         cfg = DeviceConfig(pulses_to_collapse=80, write_noise=0.1)
         net = MappedNetwork(clone_model(model), cfg, seed=55)
         net.map_network(FreshMapper())
+        # Every policy sees the identical aged array: the aging history
+        # is seeded per point, not drawn from a shared stream.
         age_network(net, np.random.default_rng(5))
-        apply_policy(net)
-        rows.append((name, net.score(x, y)))
-    return rows
+        if policy == "fresh":
+            net.map_network(FreshMapper())
+        elif policy == "iterative":
+            net.map_network(AgingAwareMapper(), selection_data=(x, y))
+        else:
+            pick = np.min if policy == "min" else np.max
+            for layer in net.layers:
+                uppers = layer.traced_upper_bounds()
+                layer.set_range(net.device_config.r_min, float(pick(uppers)))
+                layer.program()
+        return {"accuracy": net.score(x, y)}
+
+    sweep = Sweep("policy", evaluate, seed=2024)
+    result = sweep.run(POLICIES, fail_fast=True, workers=workers)
+    return [(p.value, p.metrics["accuracy"]) for p in result.points]
 
 
-def test_ablation_range_policy(benchmark, lenet_lab, report):
-    rows = benchmark.pedantic(lambda: run(lenet_lab), rounds=1, iterations=1)
+def test_ablation_range_policy(benchmark, lenet_lab, report, bench_workers):
+    rows = benchmark.pedantic(
+        lambda: run(lenet_lab, workers=bench_workers), rounds=1, iterations=1
+    )
     report(
         "ablation_range_policy",
         render_table(

@@ -9,6 +9,7 @@ factor of the mapped array (what the aging integral actually sees).
 import numpy as np
 
 from repro.analysis import render_table
+from repro.core import Sweep
 from repro.device import DeviceConfig
 from repro.mapping import MappedNetwork
 from repro.mapping.fresh import FreshMapper
@@ -18,11 +19,11 @@ from repro.training import SkewedTrainingConfig, skewed_train
 LAMBDA1S = (0.0, 5e-3, 2e-2, 5e-2, 1e-1)
 
 
-def run(lab):
-    base = lab.baseline_model()
+def run(lab, workers=1):
+    base = lab.baseline_model()  # trained in the parent before fan-out
     cfg = DeviceConfig()
-    rows = []
-    for lam1 in LAMBDA1S:
+
+    def evaluate(lam1, rng):
         if lam1 == 0.0:
             model = clone_model(base)
         else:
@@ -31,7 +32,8 @@ def run(lab):
                 model,
                 lab.dataset,
                 SkewedTrainingConfig(
-                    beta_scale=-1.0, lambda1=lam1, lambda2=min(1e-3, lam1), skew_epochs=12
+                    beta_scale=-1.0, lambda1=lam1, lambda2=min(1e-3, lam1),
+                    skew_epochs=12,
                 ),
                 pretrained=True,
             )
@@ -39,23 +41,30 @@ def run(lab):
         net.map_network(FreshMapper())
         targets = np.concatenate(
             [
-                np.asarray(m.mapping.weight_to_resistance(m.software_matrix())).ravel()
+                np.asarray(
+                    m.mapping.weight_to_resistance(m.software_matrix())
+                ).ravel()
                 for m in net.layers
             ]
         )
-        rows.append(
-            (
-                lam1,
-                model.score(lab.dataset.x_test, lab.dataset.y_test),
-                float(np.median(targets)),
-                float(np.mean(cfg.stress_factor(targets))),
-            )
-        )
-    return rows
+        return {
+            "val_acc": model.score(lab.dataset.x_test, lab.dataset.y_test),
+            "median_r": float(np.median(targets)),
+            "stress": float(np.mean(cfg.stress_factor(targets))),
+        }
+
+    sweep = Sweep("lambda1", evaluate, seed=2024)
+    result = sweep.run(LAMBDA1S, fail_fast=True, workers=workers)
+    return [
+        (p.value, p.metrics["val_acc"], p.metrics["median_r"], p.metrics["stress"])
+        for p in result.points
+    ]
 
 
-def test_ablation_skew_strength(benchmark, lenet_lab, report):
-    rows = benchmark.pedantic(lambda: run(lenet_lab), rounds=1, iterations=1)
+def test_ablation_skew_strength(benchmark, lenet_lab, report, bench_workers):
+    rows = benchmark.pedantic(
+        lambda: run(lenet_lab, workers=bench_workers), rounds=1, iterations=1
+    )
     report(
         "ablation_skew_strength",
         render_table(

@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import render_table
+from repro.core import Sweep
 from repro.device import DeviceConfig, Memristor
 from repro.device.aging import BOLTZMANN_EV
 
@@ -19,37 +20,47 @@ TEMPERATURES = (280.0, 300.0, 325.0, 350.0)
 TRAFFIC = 400  # worst-case pulses applied before measuring
 
 
-def run():
-    rows = []
-    for temperature in TEMPERATURES:
-        cfg = DeviceConfig(
-            pulses_to_collapse=2000, temperature=temperature, write_noise=0.0
-        )
-        # NOTE: calibration is done *at* the configured temperature, so
-        # to expose the T-dependence we calibrate once at 300 K and
-        # carry those params to every temperature.
-        ref = DeviceConfig(pulses_to_collapse=2000, temperature=300.0, write_noise=0.0)
-        cfg.aging_params = ref.make_aging_model().params
+def _evaluate(temperature, rng):
+    cfg = DeviceConfig(
+        pulses_to_collapse=2000, temperature=temperature, write_noise=0.0
+    )
+    # NOTE: calibration is done *at* the configured temperature, so to
+    # expose the T-dependence we calibrate once at 300 K and carry
+    # those params to every temperature.
+    ref = DeviceConfig(pulses_to_collapse=2000, temperature=300.0, write_noise=0.0)
+    cfg.aging_params = ref.make_aging_model().params
 
-        cell = Memristor(cfg, seed=1)
-        endurance = 0
-        levels_after_traffic = None
-        while not cell.is_dead and endurance < 100_000:
-            cell.program(cfg.r_min)
-            endurance += 1
-            if endurance == TRAFFIC:
-                levels_after_traffic = len(cell.usable_levels())
-        rows.append((temperature, levels_after_traffic, endurance))
-    return rows
+    cell = Memristor(cfg, seed=1)
+    endurance = 0
+    levels_after_traffic = -1.0  # sentinel: dead before the budget
+    while not cell.is_dead and endurance < 100_000:
+        cell.program(cfg.r_min)
+        endurance += 1
+        if endurance == TRAFFIC:
+            levels_after_traffic = float(len(cell.usable_levels()))
+    return {"levels": levels_after_traffic, "endurance": float(endurance)}
 
 
-def test_ablation_temperature(benchmark, report):
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+def run(workers=1):
+    sweep = Sweep("temperature", _evaluate, seed=2024)
+    result = sweep.run(TEMPERATURES, fail_fast=True, workers=workers)
+    return [
+        (p.value, p.metrics["levels"], p.metrics["endurance"]) for p in result.points
+    ]
+
+
+def test_ablation_temperature(benchmark, report, bench_workers):
+    rows = benchmark.pedantic(
+        lambda: run(workers=bench_workers), rounds=1, iterations=1
+    )
     report(
         "ablation_temperature",
         render_table(
             ["temperature (K)", f"levels after {TRAFFIC} pulses", "endurance (pulses)"],
-            [[f"{t:.0f}", lv if lv is not None else "dead", e] for t, lv, e in rows],
+            [
+                [f"{t:.0f}", f"{lv:.0f}" if lv >= 0 else "dead", f"{e:.0f}"]
+                for t, lv, e in rows
+            ],
             title="Ablation A6 — operating temperature (calibrated at 300 K)",
         ),
     )

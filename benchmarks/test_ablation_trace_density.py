@@ -10,6 +10,7 @@ a heterogeneous aging history, per block size.
 import numpy as np
 
 from repro.analysis import render_table
+from repro.core import Sweep
 from repro.crossbar import BlockTracer, Crossbar
 from repro.device import DeviceConfig
 
@@ -30,19 +31,33 @@ def _one_history(seed, size, rounds):
     return xb
 
 
-def run(size=30, rounds=40, seeds=(0, 1, 2, 3, 4)):
+def _evaluate(seed, rng, size=30, rounds=40):
+    """All block sizes on one aging history (the history is shared so
+    block errors are comparable within a point)."""
+    xb = _one_history(seed, size, rounds)
+    return {
+        f"err_b{block}": BlockTracer(xb, block).estimation_error()
+        for block in BLOCKS
+    }
+
+
+def run(size=30, rounds=40, seeds=(0, 1, 2, 3, 4), workers=1):
     """Estimation error per block size, averaged over aging histories
     (a single history can accidentally align with block boundaries)."""
-    totals = {b: 0.0 for b in BLOCKS}
-    for seed in seeds:
-        xb = _one_history(seed, size, rounds)
-        for block in BLOCKS:
-            totals[block] += BlockTracer(xb, block).estimation_error()
-    return [(b, 1.0 / (b * b), totals[b] / len(seeds)) for b in BLOCKS]
+    sweep = Sweep(
+        "history_seed", lambda s, rng: _evaluate(s, rng, size, rounds), seed=2024
+    )
+    result = sweep.run(seeds, fail_fast=True, workers=workers)
+    return [
+        (b, 1.0 / (b * b), float(np.mean(result.metric(f"err_b{b}"))))
+        for b in BLOCKS
+    ]
 
 
-def test_ablation_trace_density(benchmark, report):
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+def test_ablation_trace_density(benchmark, report, bench_workers):
+    rows = benchmark.pedantic(
+        lambda: run(workers=bench_workers), rounds=1, iterations=1
+    )
     window = DeviceConfig().r_max - DeviceConfig().r_min
     report(
         "ablation_trace_density",

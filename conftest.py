@@ -1,0 +1,16 @@
+"""Repository-level pytest configuration.
+
+Lives at the rootdir so its command-line options are registered no
+matter which test tree (``tests/`` or ``benchmarks/``) is collected.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden regression snapshots in "
+        "tests/integration/golden/ with the current run's metrics "
+        "(review the diff before committing; see CONTRIBUTING.md)",
+    )

@@ -18,7 +18,7 @@ import time
 from typing import Optional, Sequence
 
 from repro.analysis import ascii_series, comparison_report, render_table
-from repro.core import AgingAwareFramework
+from repro.core import AgingAwareFramework, ResultCache
 from repro.core.presets import PRESETS
 from repro.core.scenarios import SCENARIOS
 from repro.io import load_comparison, save_comparison, save_result, save_weights
@@ -31,6 +31,13 @@ def _build_framework(args) -> AgingAwareFramework:
     return AgingAwareFramework(
         preset.build_network, dataset, preset.framework_config, seed=seed
     )
+
+
+def _make_cache(args) -> Optional[ResultCache]:
+    """Result cache from ``--cache-dir`` / ``--no-cache`` flags."""
+    if getattr(args, "no_cache", False) or not getattr(args, "cache_dir", None):
+        return None
+    return ResultCache(args.cache_dir)
 
 
 def cmd_list_presets(_args) -> int:
@@ -61,7 +68,9 @@ def cmd_run(args) -> int:
         return 2
     framework = _build_framework(args)
     start = time.time()
-    result = framework.run_scenario(args.scenario, repeat=args.repeat)
+    result = framework.run_scenario(
+        args.scenario, repeat=args.repeat, cache=_make_cache(args)
+    )
     elapsed = time.time() - start
     print(
         f"{args.scenario.upper()}: lifetime={result.lifetime_applications} applications "
@@ -79,7 +88,9 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     framework = _build_framework(args)
-    comparison = framework.compare(repeats=args.repeats)
+    comparison = framework.compare(
+        repeats=args.repeats, workers=args.workers, cache=_make_cache(args)
+    )
     base = comparison.results[comparison.baseline_key].lifetime_applications or 1
     rows = [
         [
@@ -132,6 +143,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--fast", action="store_true", help="use the fast preset variant")
         p.add_argument("--seed", type=int, default=None)
 
+    def caching(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir",
+            default=".repro-cache",
+            help="on-disk result cache directory (re-runs of unchanged "
+            "configs are instant); default: %(default)s",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true", help="disable the result cache"
+        )
+
     p_train = sub.add_parser("train", help="software-train a model")
     common(p_train)
     p_train.add_argument("--skewed", action="store_true", help="use skewed training")
@@ -140,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one lifetime scenario")
     common(p_run)
+    caching(p_run)
     p_run.add_argument("--scenario", default="st+at", choices=sorted(SCENARIOS))
     p_run.add_argument("--repeat", type=int, default=0, help="hardware seed index")
     p_run.add_argument("--out", default=None, help="write result JSON here")
@@ -147,7 +170,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="run T+T / ST+T / ST+AT")
     common(p_cmp)
+    caching(p_cmp)
     p_cmp.add_argument("--repeats", type=int, default=1)
+    p_cmp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for scenario fan-out (results are "
+        "bit-identical to --workers 1)",
+    )
     p_cmp.add_argument("--out", default=None, help="write comparison JSON here")
     p_cmp.set_defaults(func=cmd_compare)
 

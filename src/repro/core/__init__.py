@@ -9,8 +9,18 @@
   the tuning budget is exceeded: the crossbar's end of life.
 * :class:`AgingAwareFramework` — the Fig. 5 workflow glue: train, map,
   simulate, compare scenarios.
+* :class:`ParallelExecutor` / :class:`ResultCache` — the process-parallel
+  execution engine with deterministic seeding and on-disk caching that
+  scenario comparisons, repeats and sweeps fan out through.
 """
 
+from repro.core.executor import (
+    ParallelExecutor,
+    ResultCache,
+    Task,
+    TaskOutcome,
+    fingerprint,
+)
 from repro.core.framework import AgingAwareFramework, FrameworkConfig
 from repro.core.lifetime import LifetimeConfig, LifetimeSimulator
 from repro.core.presets import PRESETS, ExperimentPreset, lenet_glyphs, vggnet_shapes
@@ -26,13 +36,18 @@ __all__ = [
     "LifetimeResult",
     "LifetimeSimulator",
     "PRESETS",
+    "ParallelExecutor",
+    "ResultCache",
     "SCENARIOS",
     "Scenario",
     "ScenarioComparison",
     "Sweep",
     "SweepPoint",
     "SweepResult",
+    "Task",
+    "TaskOutcome",
     "WindowRecord",
+    "fingerprint",
     "lenet_glyphs",
     "vggnet_shapes",
 ]

@@ -1,0 +1,313 @@
+"""Process-parallel execution engine with deterministic seeding and caching.
+
+Every experiment in this repository — the Table-I scenario comparison,
+per-scenario repeats and the ablation sweeps — decomposes into
+independent *tasks* whose randomness is derived purely from an
+``(entropy, purpose-key)`` pair (see :mod:`repro.rng`).  Because no task
+consumes shared generator state, the set of results is independent of
+execution order, which is exactly the property that makes process
+parallelism safe: fanning tasks out across a
+:class:`concurrent.futures.ProcessPoolExecutor` yields **bit-identical**
+results to running them serially.  The equivalence is enforced by
+``tests/core/test_executor.py``, not left to convention.
+
+Three pieces live here:
+
+* :func:`fingerprint` — a stable content hash of (nested) configs,
+  datasets and arrays, used to build cache keys;
+* :class:`ResultCache` — an on-disk JSON store keyed by fingerprint, so
+  re-running an unchanged scenario configuration is instant;
+* :class:`ParallelExecutor` — runs a list of :class:`Task` objects
+  serially (``workers <= 1``) or across worker processes, consulting
+  the cache first and capturing per-task failures (a crashing worker
+  surfaces as a failed task, never a hung pool).
+
+Tasks are shipped to workers with :mod:`cloudpickle` when available, so
+closures and lambdas (ubiquitous in presets and test fixtures) work;
+plain :mod:`pickle` is the fallback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+try:  # cloudpickle serializes lambdas/closures; stdlib pickle cannot.
+    import cloudpickle as _serializer
+except Exception:  # pragma: no cover - exercised only without cloudpickle
+    import pickle as _serializer
+
+#: Cache-format version; bump when payload semantics change.
+CACHE_SCHEMA = 1
+
+#: Sentinel distinguishing "cache miss" from a cached ``None`` payload.
+_MISS = object()
+
+
+# -- fingerprinting -----------------------------------------------------------
+def _canonical(obj: Any) -> Any:
+    """JSON-ready canonical form of ``obj`` for stable hashing.
+
+    Numpy arrays are folded to a digest of their bytes (shape/dtype
+    included), dataclasses to their field dict, callables to a digest of
+    their serialized form.  Objects with no stable representation fall
+    back to ``repr`` — such keys are safe (they simply never match) but
+    useless for caching, so config objects should be dataclasses.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)  # exact shortest round-trip, no JSON float quirks
+    if isinstance(obj, np.generic):
+        return _canonical(obj.item())
+    if isinstance(obj, np.ndarray):
+        digest = hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest()
+        return {"__ndarray__": digest, "dtype": str(obj.dtype), "shape": list(obj.shape)}
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            "fields": {f.name: _canonical(getattr(obj, f.name)) for f in fields(obj)},
+        }
+    if isinstance(obj, dict):
+        return {"__dict__": sorted((str(k), _canonical(v)) for k, v in obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": sorted(repr(v) for v in obj)}
+    if callable(obj):
+        try:
+            return {"__callable__": hashlib.sha256(_serializer.dumps(obj)).hexdigest()}
+        except Exception:
+            return {"__callable__": getattr(obj, "__qualname__", repr(obj))}
+    return {"__repr__": repr(obj)}
+
+
+def fingerprint(*parts: Any) -> str:
+    """Stable SHA-256 hex digest of arbitrarily nested configuration.
+
+    >>> fingerprint(1, "a") == fingerprint(1, "a")
+    True
+    >>> fingerprint(1, "a") == fingerprint(1, "b")
+    False
+    """
+    blob = json.dumps(
+        [_canonical(p) for p in parts], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- on-disk result cache -----------------------------------------------------
+class ResultCache:
+    """JSON file per cache key under one root directory.
+
+    Payloads must be JSON-serializable (use ``Task.encode``/``decode``
+    to convert rich results).  Corrupt or unreadable entries degrade to
+    cache misses, never to errors.
+    """
+
+    def __init__(self, root) -> None:
+        import pathlib
+
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str):
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Any:
+        """Cached payload for ``key``, or the module-level miss sentinel."""
+        from repro.io import load_json
+
+        path = self.path(key)
+        try:
+            entry = load_json(path)
+            if entry.get("schema") != CACHE_SCHEMA:
+                raise ValueError(f"unknown cache schema {entry.get('schema')!r}")
+            payload = entry["payload"]
+        except Exception:
+            self.misses += 1
+            return _MISS
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Any) -> None:
+        from repro.io import save_json_atomic
+
+        save_json_atomic(
+            {"schema": CACHE_SCHEMA, "key": key, "saved_unix": time.time(),
+             "payload": payload},
+            self.path(key),
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __bool__(self) -> bool:
+        # An *empty* cache is still a cache: never let `if cache:`
+        # silently disable caching through __len__.
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+# -- tasks --------------------------------------------------------------------
+@dataclass
+class Task:
+    """One unit of work: ``fn(*args, **kwargs)``, optionally cached.
+
+    ``key`` is a human-readable purpose key (also the outcome label);
+    ``cache_key`` is the full content-hash key (``None`` disables
+    caching for this task).  ``encode``/``decode`` convert the result to
+    and from a JSON-serializable payload for the cache.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    cache_key: Optional[str] = None
+    encode: Optional[Callable[[Any], Any]] = None
+    decode: Optional[Callable[[Any], Any]] = None
+
+
+@dataclass
+class TaskOutcome:
+    """Result of one task: a value or a captured error, never both."""
+
+    key: str
+    value: Any = None
+    error: Optional[str] = None
+    seconds: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _invoke_payload(payload: bytes) -> bytes:
+    """Worker-side trampoline: deserialize, run, reserialize.
+
+    Module-level so the stdlib pool can always pickle *it*; the real
+    callable travels inside ``payload`` via cloudpickle.
+    """
+    fn, args, kwargs = _serializer.loads(payload)
+    return _serializer.dumps(fn(*args, **kwargs))
+
+
+# -- the executor -------------------------------------------------------------
+class ParallelExecutor:
+    """Run tasks serially or across processes, with identical results.
+
+    ``workers <= 1`` runs in-process (the reference semantics);
+    ``workers > 1`` fans out over a process pool.  Both paths execute
+    the same task functions, and because every task derives its
+    randomness from ``(entropy, purpose-key)`` the outputs are
+    bit-identical.  Results are returned in task order regardless of
+    completion order.
+    """
+
+    def __init__(self, workers: int = 1, cache: Optional[ResultCache] = None) -> None:
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        self.workers = int(workers)
+        self.cache = cache
+
+    def run(self, tasks: Sequence[Task], reraise: bool = False) -> List[TaskOutcome]:
+        """Execute all tasks; returns one outcome per task, in order.
+
+        With ``reraise=False`` a failing task's exception is captured in
+        its outcome's ``error`` (traceback text) and the other tasks
+        still complete — including when a worker process dies, which
+        surfaces as a ``BrokenProcessPool`` error on the affected tasks
+        rather than a hang.  With ``reraise=True`` the first failure
+        (in task order) propagates to the caller.
+        """
+        outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+        pending: List[int] = []
+        for idx, task in enumerate(tasks):
+            payload = (
+                self.cache.get(task.cache_key)
+                if self.cache is not None and task.cache_key
+                else _MISS
+            )
+            if payload is not _MISS:
+                value = task.decode(payload) if task.decode else payload
+                outcomes[idx] = TaskOutcome(task.key, value=value, cached=True)
+            else:
+                pending.append(idx)
+
+        if pending:
+            # workers > 1 always means worker processes — even for one
+            # task — so a crashing task can never take the parent down.
+            if self.workers > 1:
+                self._run_parallel(tasks, pending, outcomes, reraise)
+            else:
+                self._run_serial(tasks, pending, outcomes, reraise)
+
+        for idx in pending:
+            task, outcome = tasks[idx], outcomes[idx]
+            if outcome.ok and self.cache is not None and task.cache_key:
+                payload = task.encode(outcome.value) if task.encode else outcome.value
+                self.cache.put(task.cache_key, payload)
+        return outcomes  # type: ignore[return-value]
+
+    def _run_serial(self, tasks, pending, outcomes, reraise) -> None:
+        for idx in pending:
+            task = tasks[idx]
+            start = time.perf_counter()
+            try:
+                value = task.fn(*task.args, **task.kwargs)
+                outcomes[idx] = TaskOutcome(
+                    task.key, value=value, seconds=time.perf_counter() - start
+                )
+            except Exception:
+                if reraise:
+                    raise
+                outcomes[idx] = TaskOutcome(
+                    task.key,
+                    error=traceback.format_exc(limit=8),
+                    seconds=time.perf_counter() - start,
+                )
+
+    def _run_parallel(self, tasks, pending, outcomes, reraise) -> None:
+        start = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
+            futures = {}
+            for idx in pending:
+                task = tasks[idx]
+                payload = _serializer.dumps((task.fn, task.args, task.kwargs))
+                futures[idx] = pool.submit(_invoke_payload, payload)
+            for idx in pending:
+                task = tasks[idx]
+                try:
+                    value = _serializer.loads(futures[idx].result())
+                    outcomes[idx] = TaskOutcome(
+                        task.key, value=value, seconds=time.perf_counter() - start
+                    )
+                except Exception as exc:
+                    if reraise:
+                        raise
+                    text = "".join(
+                        traceback.format_exception(type(exc), exc, exc.__traceback__)
+                    )
+                    outcomes[idx] = TaskOutcome(
+                        task.key, error=text, seconds=time.perf_counter() - start
+                    )

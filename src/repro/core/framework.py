@@ -10,10 +10,17 @@ freshly seeded hardware).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.core.executor import (
+    _MISS,
+    ParallelExecutor,
+    ResultCache,
+    Task,
+    fingerprint,
+)
 from repro.core.lifetime import LifetimeConfig, LifetimeSimulator
 from repro.core.results import LifetimeResult, ScenarioComparison
 from repro.core.scenarios import SCENARIOS, Scenario
@@ -109,23 +116,57 @@ class AgingAwareFramework:
         return self.config.target_fraction * self.software_accuracy(skewed)
 
     # -- scenario execution -----------------------------------------------------
-    def run_scenario(self, scenario: Scenario | str, repeat: int = 0) -> LifetimeResult:
+    def _resolve_scenario(self, scenario: Scenario | str) -> Scenario:
+        if isinstance(scenario, str):
+            try:
+                return SCENARIOS[scenario]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}"
+                ) from None
+        return scenario
+
+    def scenario_cache_key(self, scenario: Scenario | str, repeat: int = 0) -> str:
+        """Content-hash cache key of one scenario run.
+
+        Covers everything the run depends on: the scenario, the repeat
+        index, the framework entropy (which seeds training, hardware and
+        tuning streams), the full configuration tree and the dataset
+        arrays — so any change to any of them is a cache miss.
+        """
+        scenario = self._resolve_scenario(scenario)
+        return fingerprint(
+            "scenario-run/v1",
+            scenario,
+            int(repeat),
+            self._entropy,
+            self.config,
+            self.dataset,
+        )
+
+    def run_scenario(
+        self,
+        scenario: Scenario | str,
+        repeat: int = 0,
+        cache: Optional[ResultCache] = None,
+    ) -> LifetimeResult:
         """Run one scenario's full lifetime simulation.
 
         ``repeat`` selects an independent hardware/tuning seed stream
         (the trained software weights are shared across repeats);
         lifetime is a heavy-tailed quantity, so experiments should
         aggregate a few repeats — see :meth:`run_scenario_repeats`.
+        A hit in ``cache`` (keyed by :meth:`scenario_cache_key`) skips
+        the simulation — and the training — entirely.
         """
-        if isinstance(scenario, str):
-            try:
-                scenario = SCENARIOS[scenario]
-            except KeyError:
-                raise ConfigurationError(
-                    f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}"
-                ) from None
+        scenario = self._resolve_scenario(scenario)
         if repeat < 0:
             raise ConfigurationError(f"repeat must be >= 0, got {repeat}")
+        if cache is not None:
+            key = self.scenario_cache_key(scenario, repeat)
+            payload = cache.get(key)
+            if payload is not _MISS:
+                return LifetimeResult.from_dict(payload)
         cfg = self.config
         model = clone_model(self.trained_model(scenario.skewed_training))
         network = MappedNetwork(
@@ -138,14 +179,8 @@ class AgingAwareFramework:
         )
         x_tune, y_tune = self._tuning_set()
 
-        lifetime_cfg = LifetimeConfig(
-            apps_per_window=cfg.lifetime.apps_per_window,
-            drift_magnitude=cfg.lifetime.drift_magnitude,
-            max_windows=cfg.lifetime.max_windows,
-            tuning=cfg.lifetime.tuning,
-        )
-        lifetime_cfg.tuning.target_accuracy = min(
-            0.999, max(1e-6, self._resolve_target(scenario.skewed_training))
+        lifetime_cfg = cfg.lifetime.with_target(
+            min(0.999, max(1e-6, self._resolve_target(scenario.skewed_training)))
         )
 
         simulator = LifetimeSimulator(
@@ -159,32 +194,111 @@ class AgingAwareFramework:
         )
         result = simulator.run(scenario.key)
         result.software_accuracy = self.software_accuracy(scenario.skewed_training)
+        if cache is not None:
+            cache.put(key, result.to_dict())
         return result
 
+    def _scenario_tasks(
+        self, pairs: Sequence[tuple[Scenario, int]], cache: Optional[ResultCache]
+    ) -> list[Task]:
+        """Executor tasks for (scenario, repeat) pairs.
+
+        Training happens in the parent *before* fan-out so every worker
+        inherits the same cached software weights instead of retraining
+        (retraining would still be bit-identical — the training stream
+        is derived from ``(entropy, "train-<style>")`` — just wasteful).
+        """
+        for scenario, _ in pairs:
+            self.trained_model(scenario.skewed_training)
+        return [
+            Task(
+                key=f"{scenario.key}#r{repeat}",
+                fn=_run_scenario_in_worker,
+                args=(self, scenario.key, repeat),
+                cache_key=(
+                    self.scenario_cache_key(scenario, repeat)
+                    if cache is not None
+                    else None
+                ),
+                encode=LifetimeResult.to_dict,
+                decode=LifetimeResult.from_dict,
+            )
+            for scenario, repeat in pairs
+        ]
+
     def run_scenario_repeats(
-        self, scenario: Scenario | str, repeats: int = 3
+        self,
+        scenario: Scenario | str,
+        repeats: int = 3,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
     ) -> list[LifetimeResult]:
         """Run ``repeats`` independent hardware instantiations.
 
         The software training is shared (cached); only the hardware and
         tuning randomness differ, mirroring one chip design deployed on
-        several dies.
+        several dies.  ``workers > 1`` fans the repeats out over a
+        process pool with bit-identical results (every repeat's streams
+        are derived from ``(entropy, purpose-key)``, never consumed from
+        a shared generator).
         """
         if repeats < 1:
             raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
-        return [self.run_scenario(scenario, repeat=i) for i in range(repeats)]
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        scenario = self._resolve_scenario(scenario)
+        if workers <= 1:
+            return [
+                self.run_scenario(scenario, repeat=i, cache=cache)
+                for i in range(repeats)
+            ]
+        tasks = self._scenario_tasks([(scenario, i) for i in range(repeats)], cache)
+        executor = ParallelExecutor(workers=workers, cache=cache)
+        return [o.value for o in executor.run(tasks, reraise=True)]
 
     def compare(
-        self, scenario_keys=("t+t", "st+t", "st+at"), repeats: int = 1
+        self,
+        scenario_keys=("t+t", "st+t", "st+at"),
+        repeats: int = 1,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
     ) -> ScenarioComparison:
         """Run several scenarios and collect a Table-I-style comparison.
 
         With ``repeats > 1`` each scenario's stored result is the one
-        with the **median** lifetime among its repeats.
+        with the **median** lifetime among its repeats.  ``workers > 1``
+        runs *all* (scenario, repeat) pairs concurrently — not scenario
+        by scenario — and reassembles them in deterministic order, so
+        the comparison is bit-identical to a serial run.
         """
+        if repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
         comparison = ScenarioComparison(workload=self.dataset.name)
-        for key in scenario_keys:
-            results = self.run_scenario_repeats(key, repeats=repeats)
+        scenarios = [self._resolve_scenario(k) for k in scenario_keys]
+        if workers <= 1:
+            grouped = [
+                [self.run_scenario(s, repeat=i, cache=cache) for i in range(repeats)]
+                for s in scenarios
+            ]
+        else:
+            pairs = [(s, i) for s in scenarios for i in range(repeats)]
+            tasks = self._scenario_tasks(pairs, cache)
+            executor = ParallelExecutor(workers=workers, cache=cache)
+            outcomes = executor.run(tasks, reraise=True)
+            grouped = [
+                [o.value for o in outcomes[j * repeats:(j + 1) * repeats]]
+                for j in range(len(scenarios))
+            ]
+        for results in grouped:
             results.sort(key=lambda r: r.lifetime_applications)
             comparison.add(results[len(results) // 2])
         return comparison
+
+
+def _run_scenario_in_worker(
+    framework: AgingAwareFramework, scenario_key: str, repeat: int
+) -> LifetimeResult:
+    """Module-level task body so the executor can ship it to workers."""
+    return framework.run_scenario(scenario_key, repeat=repeat)

@@ -19,7 +19,7 @@ x-axis position of the iteration-count knee.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np
@@ -71,6 +71,22 @@ class LifetimeConfig:
             )
         if self.max_windows < 1:
             raise ConfigurationError(f"max_windows must be >= 1, got {self.max_windows}")
+
+    def with_target(self, target_accuracy: float) -> "LifetimeConfig":
+        """Independent copy with a resolved tuning target.
+
+        The copy shares no mutable state with ``self`` — required by the
+        framework, which resolves a per-scenario target: mutating a
+        shared :class:`TuningConfig` in place would leak the resolved
+        value back into the caller's config (and destabilize the
+        content-hash cache keys of the execution engine).
+        """
+        return LifetimeConfig(
+            apps_per_window=self.apps_per_window,
+            drift_magnitude=self.drift_magnitude,
+            max_windows=self.max_windows,
+            tuning=replace(self.tuning, target_accuracy=target_accuracy),
+        )
 
 
 class LifetimeSimulator:

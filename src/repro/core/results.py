@@ -1,4 +1,12 @@
-"""Result records of the lifetime engine."""
+"""Result records of the lifetime engine.
+
+Every record knows how to round-trip itself through a JSON-ready dict
+(``to_dict``/``from_dict``) — the single source of truth used by
+:mod:`repro.io` for files and by the execution engine's on-disk result
+cache.  The round trip is exact: ints stay ints and floats survive
+bit-identically (JSON uses shortest-round-trip float text), so a cached
+result compares equal to a freshly computed one.
+"""
 
 from __future__ import annotations
 
@@ -19,6 +27,37 @@ class WindowRecord:
     dead_fraction: float
     #: Mean aged upper resistance bound per mapped layer index.
     aged_upper_by_layer: Dict[int, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (layer keys become strings)."""
+        return {
+            "window_index": self.window_index,
+            "applications_total": self.applications_total,
+            "tuning_iterations": self.tuning_iterations,
+            "converged": self.converged,
+            "accuracy_after": self.accuracy_after,
+            "pulses_total": self.pulses_total,
+            "dead_fraction": self.dead_fraction,
+            "aged_upper_by_layer": {
+                str(k): v for k, v in self.aged_upper_by_layer.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WindowRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            window_index=int(d["window_index"]),
+            applications_total=int(d["applications_total"]),
+            tuning_iterations=int(d["tuning_iterations"]),
+            converged=bool(d["converged"]),
+            accuracy_after=float(d["accuracy_after"]),
+            pulses_total=int(d["pulses_total"]),
+            dead_fraction=float(d["dead_fraction"]),
+            aged_upper_by_layer={
+                int(k): float(v) for k, v in d["aged_upper_by_layer"].items()
+            },
+        )
 
 
 @dataclass
@@ -48,6 +87,29 @@ class LifetimeResult:
             for idx, value in w.aged_upper_by_layer.items():
                 out.setdefault(idx, []).append(value)
         return out
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of the full trajectory."""
+        return {
+            "scenario_key": self.scenario_key,
+            "lifetime_applications": self.lifetime_applications,
+            "failed": self.failed,
+            "software_accuracy": self.software_accuracy,
+            "target_accuracy": self.target_accuracy,
+            "windows": [w.to_dict() for w in self.windows],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LifetimeResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            scenario_key=str(d["scenario_key"]),
+            lifetime_applications=int(d["lifetime_applications"]),
+            failed=bool(d["failed"]),
+            software_accuracy=float(d.get("software_accuracy", 0.0)),
+            target_accuracy=float(d.get("target_accuracy", 0.0)),
+            windows=[WindowRecord.from_dict(w) for w in d.get("windows", [])],
+        )
 
 
 @dataclass

@@ -4,16 +4,25 @@ The ablation studies all share one shape: vary a parameter, rebuild the
 relevant object, measure a few scalars, tabulate.  :class:`Sweep`
 factors that out with deterministic per-point seeds and failure
 isolation (one exploding point does not lose the rest of the sweep).
+
+Every point's generator is derived from ``(entropy, parameter, value)``
+only — no shared stream — so the evaluation order is irrelevant and the
+sweep can fan out across worker processes
+(:class:`repro.core.executor.ParallelExecutor`) with **bit-identical**
+metrics: ``run(values, workers=4)`` equals ``run(values)`` except for
+the wall-clock ``seconds`` field.  Point results can also be cached on
+disk (``cache=ResultCache(...)``), keyed by the sweep configuration and
+the point value, so re-running an unchanged sweep is instant.
 """
 
 from __future__ import annotations
 
-import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.ascii import render_table
+from repro.core.executor import ParallelExecutor, ResultCache, Task, fingerprint
 from repro.exceptions import ConfigurationError
 from repro.rng import derive_rng, ensure_rng
 
@@ -26,10 +35,33 @@ class SweepPoint:
     metrics: Dict[str, float] = field(default_factory=dict)
     error: Optional[str] = None
     seconds: float = 0.0
+    #: True when the metrics came from the on-disk result cache.
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (``value`` must itself be JSON-serializable)."""
+        return {
+            "value": self.value,
+            "metrics": dict(self.metrics),
+            "error": self.error,
+            "seconds": self.seconds,
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepPoint":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            value=d["value"],
+            metrics={str(k): float(v) for k, v in d.get("metrics", {}).items()},
+            error=d.get("error"),
+            seconds=float(d.get("seconds", 0.0)),
+            cached=bool(d.get("cached", False)),
+        )
 
 
 @dataclass
@@ -48,6 +80,21 @@ class SweepResult:
 
     def values(self) -> List[Any]:
         return [p.value for p in self.successful()]
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of the whole sweep."""
+        return {
+            "parameter": self.parameter,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            parameter=str(d["parameter"]),
+            points=[SweepPoint.from_dict(p) for p in d.get("points", [])],
+        )
 
     def to_table(self, title: str = "") -> str:
         """Render as an aligned text table."""
@@ -68,6 +115,31 @@ class SweepResult:
         return render_table(headers, rows, title=title)
 
 
+def _evaluate_point(fn, entropy: int, parameter: str, value, catch: bool) -> dict:
+    """Evaluate one point; the shared task body for serial AND parallel.
+
+    With ``catch=True`` an exception becomes an ``{"__error__": tb}``
+    payload (failure isolation); with ``catch=False`` it propagates —
+    that is the ``fail_fast`` path, where the executor re-raises the
+    original exception in the parent.
+    """
+    rng = derive_rng(entropy, f"{parameter}={value!r}")
+
+    def coerce(metrics) -> dict:
+        if not isinstance(metrics, dict):
+            raise ConfigurationError(
+                f"sweep fn must return a metrics dict, got {type(metrics)}"
+            )
+        return {str(k): float(v) for k, v in metrics.items()}
+
+    if not catch:
+        return coerce(fn(value, rng))
+    try:
+        return coerce(fn(value, rng))
+    except Exception:
+        return {"__error__": traceback.format_exc(limit=3)}
+
+
 class Sweep:
     """Evaluate ``fn(value, rng)`` over a sequence of parameter values.
 
@@ -84,24 +156,65 @@ class Sweep:
         self.fn = fn
         self._entropy = int(ensure_rng(seed).integers(0, 2**63 - 1))
 
-    def run(self, values: Sequence[Any], fail_fast: bool = False) -> SweepResult:
-        """Evaluate all ``values``; errors are captured per point."""
+    def point_cache_key(self, value: Any, cache_token: Optional[str] = None) -> str:
+        """Cache key of one point: sweep identity + entropy + value.
+
+        The sweep function itself is fingerprinted via its serialized
+        form; pass an explicit ``cache_token`` (e.g. a version string
+        plus the relevant config) for keys that must stay stable across
+        interpreter versions.
+        """
+        token = cache_token if cache_token is not None else self.fn
+        return fingerprint(
+            "sweep-point/v1", self.parameter, repr(value), self._entropy, token
+        )
+
+    def run(
+        self,
+        values: Sequence[Any],
+        fail_fast: bool = False,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        cache_token: Optional[str] = None,
+    ) -> SweepResult:
+        """Evaluate all ``values``; errors are captured per point.
+
+        ``workers > 1`` fans the points out over a process pool with
+        bit-identical metrics (per-point seeds are derivation-based, not
+        sequential).  ``cache`` short-circuits points whose key — see
+        :meth:`point_cache_key` — already has a stored result.  With
+        ``fail_fast=True`` the first failing point's original exception
+        propagates instead of being captured.
+        """
+        tasks = [
+            Task(
+                key=f"{self.parameter}={value!r}",
+                fn=_evaluate_point,
+                args=(self.fn, self._entropy, self.parameter, value, not fail_fast),
+                cache_key=(
+                    self.point_cache_key(value, cache_token)
+                    if cache is not None
+                    else None
+                ),
+            )
+            for value in values
+        ]
+        outcomes = ParallelExecutor(workers=workers, cache=cache).run(
+            tasks, reraise=fail_fast
+        )
+
         result = SweepResult(parameter=self.parameter)
-        for value in values:
-            rng = derive_rng(self._entropy, f"{self.parameter}={value!r}")
-            start = time.time()
-            point = SweepPoint(value=value)
-            try:
-                metrics = self.fn(value, rng)
-                if not isinstance(metrics, dict):
-                    raise ConfigurationError(
-                        f"sweep fn must return a metrics dict, got {type(metrics)}"
-                    )
-                point.metrics = {k: float(v) for k, v in metrics.items()}
-            except Exception:
-                if fail_fast:
-                    raise
-                point.error = traceback.format_exc(limit=3)
-            point.seconds = time.time() - start
+        for value, outcome in zip(values, outcomes):
+            point = SweepPoint(
+                value=value, seconds=outcome.seconds, cached=outcome.cached
+            )
+            if not outcome.ok:
+                # Transport-level failure: the worker process died (e.g.
+                # BrokenProcessPool) before the point could even report.
+                point.error = outcome.error
+            elif "__error__" in outcome.value:
+                point.error = outcome.value["__error__"]
+            else:
+                point.metrics = outcome.value
             result.points.append(point)
         return result

@@ -53,30 +53,60 @@ def _node_index(i: int, j: int, cols: int, plane: int, rows: int) -> int:
     return plane * rows * cols + i * cols + j
 
 
-def solve_crossbar_nodal(
-    conductances: np.ndarray,
-    v_in: np.ndarray,
-    model: ParasiticModel,
-) -> np.ndarray:
-    """Exact column currents of a crossbar with wire parasitics.
+def _assemble_nodal_system(
+    g: np.ndarray, v_in: np.ndarray, g_wire: float
+) -> tuple[sparse.csr_matrix, np.ndarray]:
+    """Vectorized assembly of the nodal system ``A x = rhs``.
 
-    Nodal analysis: each cell (i, j) connects wordline node W(i,j) to
-    bitline node B(i,j) through its conductance; wordline nodes chain
-    horizontally (input driven at j = 0), bitline nodes chain vertically
-    (TIA virtual ground at i = rows-1).  Returns the per-column currents
-    flowing into the TIAs for a single input vector ``v_in``.
+    All stamp coordinates are built as whole index grids and fed to one
+    COO constructor (duplicate entries sum on conversion), replacing the
+    O(rows·cols) Python loop — assembly used to dominate the solve for
+    mid-size arrays.
     """
-    g = np.asarray(conductances, dtype=np.float64)
-    if g.ndim != 2:
-        raise ShapeError(f"conductances must be 2-D, got shape {g.shape}")
     rows, cols = g.shape
-    v_in = np.asarray(v_in, dtype=np.float64)
-    if v_in.shape != (rows,):
-        raise ShapeError(f"v_in must have shape ({rows},), got {v_in.shape}")
-    if model.r_wire == 0.0:
-        return v_in @ g
+    n = 2 * rows * cols
+    w_idx = np.arange(rows)[:, None] * cols + np.arange(cols)[None, :]
+    b_idx = rows * cols + w_idx
 
-    g_wire = 1.0 / model.r_wire
+    # Conductance stamps between node pairs (a, b): four COO entries
+    # each — (a,a,+v), (b,b,+v), (a,b,-v), (b,a,-v).
+    pair_a = [w_idx.ravel()]                 # memristor bridges the planes
+    pair_b = [b_idx.ravel()]
+    pair_v = [g.ravel()]
+    if cols > 1:                             # wordline chain towards j = 0
+        pair_a.append(w_idx[:, 1:].ravel())
+        pair_b.append(w_idx[:, :-1].ravel())
+        pair_v.append(np.full((cols - 1) * rows, g_wire))
+    if rows > 1:                             # bitline chain towards i = rows-1
+        pair_a.append(b_idx[:-1, :].ravel())
+        pair_b.append(b_idx[1:, :].ravel())
+        pair_v.append(np.full((rows - 1) * cols, g_wire))
+    a = np.concatenate(pair_a)
+    b = np.concatenate(pair_b)
+    v = np.concatenate(pair_v)
+
+    # Source stamps: wordline drivers at j = 0, TIA virtual grounds at
+    # i = rows-1 — diagonal-only entries plus the RHS injection.
+    src = np.concatenate([w_idx[:, 0], b_idx[-1, :]])
+    rhs = np.zeros(n)
+    rhs[w_idx[:, 0]] = g_wire * v_in
+
+    coo_rows = np.concatenate([a, b, a, b, src])
+    coo_cols = np.concatenate([a, b, b, a, src])
+    coo_vals = np.concatenate([v, v, -v, -v, np.full(src.size, g_wire)])
+    matrix = sparse.coo_matrix((coo_vals, (coo_rows, coo_cols)), shape=(n, n)).tocsr()
+    return matrix, rhs
+
+
+def _assemble_nodal_system_loop(
+    g: np.ndarray, v_in: np.ndarray, g_wire: float
+) -> tuple[sparse.csr_matrix, np.ndarray]:
+    """Reference per-cell loop assembly (the readable specification).
+
+    Kept for the regression test that pins the vectorized assembly to
+    this one stamp by stamp; not used on the solve path.
+    """
+    rows, cols = g.shape
     n = 2 * rows * cols
     builder = sparse.lil_matrix((n, n))
     rhs = np.zeros(n)
@@ -108,10 +138,36 @@ def solve_crossbar_nodal(
             else:
                 add_conductance(b, _node_index(i + 1, j, cols, 1, rows), g_wire)
 
-    solution = spsolve(sparse.csr_matrix(builder), rhs)
-    bottom = np.array(
-        [solution[_node_index(rows - 1, j, cols, 1, rows)] for j in range(cols)]
-    )
+    return sparse.csr_matrix(builder), rhs
+
+
+def solve_crossbar_nodal(
+    conductances: np.ndarray,
+    v_in: np.ndarray,
+    model: ParasiticModel,
+) -> np.ndarray:
+    """Exact column currents of a crossbar with wire parasitics.
+
+    Nodal analysis: each cell (i, j) connects wordline node W(i,j) to
+    bitline node B(i,j) through its conductance; wordline nodes chain
+    horizontally (input driven at j = 0), bitline nodes chain vertically
+    (TIA virtual ground at i = rows-1).  Returns the per-column currents
+    flowing into the TIAs for a single input vector ``v_in``.
+    """
+    g = np.asarray(conductances, dtype=np.float64)
+    if g.ndim != 2:
+        raise ShapeError(f"conductances must be 2-D, got shape {g.shape}")
+    rows, cols = g.shape
+    v_in = np.asarray(v_in, dtype=np.float64)
+    if v_in.shape != (rows,):
+        raise ShapeError(f"v_in must have shape ({rows},), got {v_in.shape}")
+    if model.r_wire == 0.0:
+        return v_in @ g
+
+    g_wire = 1.0 / model.r_wire
+    matrix, rhs = _assemble_nodal_system(g, v_in, g_wire)
+    solution = spsolve(matrix, rhs)
+    bottom = solution[rows * cols + (rows - 1) * cols + np.arange(cols)]
     # Current into each TIA = (V_bottom_node - 0) * g_wire.
     return bottom * g_wire
 

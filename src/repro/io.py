@@ -1,16 +1,21 @@
-"""Persistence: model weights and experiment results.
+"""Persistence: model weights, experiment results and the result cache.
 
 * Model weights go to ``.npz`` (exact float64 round trip).
-* Lifetime results and scenario comparisons go to JSON, so downstream
-  analysis (or the paper tables) can be regenerated without re-running
-  multi-minute simulations.
+* Lifetime results, sweep results and scenario comparisons go to JSON,
+  so downstream analysis (or the paper tables) can be regenerated
+  without re-running multi-minute simulations.
+* :func:`save_json_atomic` / :func:`load_json` back the execution
+  engine's on-disk result cache (:class:`repro.core.executor.ResultCache`):
+  writes go through a same-directory temp file + ``os.replace`` so a
+  killed worker can never leave a truncated cache entry behind.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
-from typing import Union
+from typing import Any, Union
 
 import numpy as np
 
@@ -19,6 +24,20 @@ from repro.exceptions import ConfigurationError, ShapeError
 from repro.nn.model import Sequential
 
 PathLike = Union[str, pathlib.Path]
+
+
+# -- generic JSON persistence (cache backend) ---------------------------------
+def save_json_atomic(payload: Any, path: PathLike) -> None:
+    """Write ``payload`` as JSON via an atomic same-directory rename."""
+    path = pathlib.Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def load_json(path: PathLike) -> Any:
+    """Read a JSON document (raises on missing/corrupt files)."""
+    return json.loads(pathlib.Path(path).read_text())
 
 
 # -- model weights ------------------------------------------------------------
@@ -54,53 +73,21 @@ def load_weights(model: Sequential, path: PathLike) -> Sequential:
 
 # -- lifetime results ----------------------------------------------------------
 def _window_to_dict(w: WindowRecord) -> dict:
-    return {
-        "window_index": w.window_index,
-        "applications_total": w.applications_total,
-        "tuning_iterations": w.tuning_iterations,
-        "converged": w.converged,
-        "accuracy_after": w.accuracy_after,
-        "pulses_total": w.pulses_total,
-        "dead_fraction": w.dead_fraction,
-        "aged_upper_by_layer": {str(k): v for k, v in w.aged_upper_by_layer.items()},
-    }
+    return w.to_dict()
 
 
 def _window_from_dict(d: dict) -> WindowRecord:
-    return WindowRecord(
-        window_index=int(d["window_index"]),
-        applications_total=int(d["applications_total"]),
-        tuning_iterations=int(d["tuning_iterations"]),
-        converged=bool(d["converged"]),
-        accuracy_after=float(d["accuracy_after"]),
-        pulses_total=int(d["pulses_total"]),
-        dead_fraction=float(d["dead_fraction"]),
-        aged_upper_by_layer={int(k): float(v) for k, v in d["aged_upper_by_layer"].items()},
-    )
+    return WindowRecord.from_dict(d)
 
 
 def result_to_dict(result: LifetimeResult) -> dict:
     """JSON-ready dict of a lifetime result."""
-    return {
-        "scenario_key": result.scenario_key,
-        "lifetime_applications": result.lifetime_applications,
-        "failed": result.failed,
-        "software_accuracy": result.software_accuracy,
-        "target_accuracy": result.target_accuracy,
-        "windows": [_window_to_dict(w) for w in result.windows],
-    }
+    return result.to_dict()
 
 
 def result_from_dict(d: dict) -> LifetimeResult:
     """Inverse of :func:`result_to_dict`."""
-    return LifetimeResult(
-        scenario_key=str(d["scenario_key"]),
-        lifetime_applications=int(d["lifetime_applications"]),
-        failed=bool(d["failed"]),
-        software_accuracy=float(d.get("software_accuracy", 0.0)),
-        target_accuracy=float(d.get("target_accuracy", 0.0)),
-        windows=[_window_from_dict(w) for w in d.get("windows", [])],
-    )
+    return LifetimeResult.from_dict(d)
 
 
 def save_result(result: LifetimeResult, path: PathLike) -> None:
@@ -121,6 +108,18 @@ def save_comparison(comparison: ScenarioComparison, path: PathLike) -> None:
         "results": {k: result_to_dict(r) for k, r in comparison.results.items()},
     }
     pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def save_sweep_result(result, path: PathLike) -> None:
+    """Write a :class:`repro.core.sweep.SweepResult` to JSON."""
+    save_json_atomic(result.to_dict(), path)
+
+
+def load_sweep_result(path: PathLike):
+    """Read a :class:`repro.core.sweep.SweepResult` from JSON."""
+    from repro.core.sweep import SweepResult
+
+    return SweepResult.from_dict(load_json(path))
 
 
 def load_comparison(path: PathLike) -> ScenarioComparison:

@@ -82,6 +82,7 @@ class TestCommands:
                 "--preset",
                 "lenet-glyphs",
                 "--fast",
+                "--no-cache",
                 "--scenario",
                 "t+t",
                 "--out",
@@ -92,3 +93,36 @@ class TestCommands:
         payload = json.loads(out_file.read_text())
         assert payload["scenario_key"] == "t+t"
         assert "lifetime" in capsys.readouterr().out
+
+    def test_run_populates_and_reuses_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "run",
+            "--preset",
+            "lenet-glyphs",
+            "--fast",
+            "--scenario",
+            "t+t",
+            "--cache-dir",
+            str(cache_dir),
+            "--out",
+            str(tmp_path / "first.json"),
+        ]
+        assert main(argv) == 0
+        entries = list(cache_dir.glob("*.json"))
+        assert len(entries) == 1
+        # Second run must be served from the cache: same result JSON,
+        # no new cache entries.
+        argv[-1] = str(tmp_path / "second.json")
+        assert main(argv) == 0
+        assert list(cache_dir.glob("*.json")) == entries
+        first = json.loads((tmp_path / "first.json").read_text())
+        second = json.loads((tmp_path / "second.json").read_text())
+        assert first == second
+
+    def test_compare_accepts_workers(self, tmp_path, capsys):
+        args = build_parser().parse_args(
+            ["compare", "--workers", "4", "--no-cache"]
+        )
+        assert args.workers == 4
+        assert args.no_cache

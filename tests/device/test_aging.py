@@ -156,6 +156,85 @@ class TestProperties:
     @given(
         ptc=st.floats(10.0, 1e6),
         frac=st.floats(0.0, 0.9),
+        exp_max=st.floats(0.5, 2.0),
+        exp_min=st.floats(0.5, 2.0),
+        ea=st.floats(0.1, 1.0),
+        temp=st.floats(250.0, 400.0),
+        times=st.lists(st.floats(0.0, 1e3), min_size=2, max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_nonincreasing_any_params(
+        self, ptc, frac, exp_max, exp_min, ea, temp, times
+    ):
+        """Aging is irreversible for *any* calibration (endurance target,
+        bound fraction, exponents, activation energy) and temperature:
+        both aged bounds are monotonically non-increasing in accumulated
+        stress and never exceed their fresh values.  (The *width* may
+        transiently grow when ``g`` outpaces ``f`` — mismatched
+        exponents — so monotonicity is asserted per bound, not on the
+        width.)"""
+        base = AgingParams.calibrated(
+            1e4, 1e5, ptc, min_bound_fraction=frac, activation_energy=ea
+        )
+        aging = ArrheniusAging(
+            AgingParams(
+                prefactor_max=base.prefactor_max,
+                prefactor_min=base.prefactor_min,
+                activation_energy_max=ea,
+                activation_energy_min=ea,
+                time_exponent_max=exp_max,
+                time_exponent_min=exp_min,
+            )
+        )
+        stress = np.sort(np.asarray(times, dtype=np.float64))
+        lo, hi = aging.aged_bounds(
+            np.full_like(stress, 1e4), np.full_like(stress, 1e5), temp, stress
+        )
+        lo, hi = np.asarray(lo), np.asarray(hi)
+        assert np.all(np.diff(hi) <= 1e-9)
+        assert np.all(np.diff(lo) <= 1e-9)
+        assert np.all(lo <= hi)
+        assert np.all(hi <= 1e5) and np.all(lo <= 1e4)
+
+    @given(
+        r_min=st.floats(1.0, 1e5),
+        window=st.floats(1e-3, 1e6),
+        temp=st.floats(200.0, 500.0),
+        stress=st.floats(0.0, 1e6),
+        ptc=st.floats(1.0, 1e8),
+        frac=st.floats(0.0, 0.99),
+        exp_max=st.floats(0.3, 3.0),
+        exp_min=st.floats(0.3, 3.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_bounds_never_invert(
+        self, r_min, window, temp, stress, ptc, frac, exp_max, exp_min
+    ):
+        """``aged_bounds`` is a total function on its domain: whatever the
+        stress, temperature or calibration, it returns ``1.0 <= lo <= hi``
+        (conductance 1/R stays finite, the window never inverts)."""
+        base = AgingParams.calibrated(
+            r_min, r_min + window, ptc, min_bound_fraction=frac
+        )
+        aging = ArrheniusAging(
+            AgingParams(
+                prefactor_max=base.prefactor_max,
+                prefactor_min=base.prefactor_min,
+                time_exponent_max=exp_max,
+                time_exponent_min=exp_min,
+            )
+        )
+        lo, hi = aging.aged_bounds(r_min, r_min + window, temp, stress)
+        assert 1.0 <= lo <= hi
+        # Array path must agree with the scalar path bit-for-bit.
+        lo_v, hi_v = aging.aged_bounds(
+            np.array([r_min]), np.array([r_min + window]), temp, np.array([stress])
+        )
+        assert float(lo_v[0]) == lo and float(hi_v[0]) == hi
+
+    @given(
+        ptc=st.floats(10.0, 1e6),
+        frac=st.floats(0.0, 0.9),
     )
     @settings(max_examples=50, deadline=None)
     def test_calibration_property(self, ptc, frac):

@@ -1,0 +1,208 @@
+"""Golden regression suite: pinned Table-I-style metrics.
+
+Each test computes a metrics dict from a fixed-seed run and compares it
+against a JSON snapshot in ``tests/integration/golden/``.  Integers and
+booleans must match exactly (the seeds are fixed and every stream is
+derivation-based); floats are compared with a per-suite tolerance that
+absorbs BLAS/libm differences across platforms without hiding real
+regressions.
+
+When a change legitimately shifts the numbers (new default, calibration
+fix), regenerate the snapshots with::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_golden.py --update-golden
+
+then review the JSON diff before committing — every changed number is a
+behaviour change you are signing off on (see CONTRIBUTING.md).
+"""
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AgingAwareFramework,
+    FrameworkConfig,
+    LifetimeConfig,
+    Sweep,
+)
+from repro.data import make_blobs
+from repro.device import DeviceConfig
+from repro.device.aging import AgingParams, ArrheniusAging
+from repro.training import SkewedTrainingConfig, TrainConfig, build_mlp
+from repro.tuning import TuningConfig
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _compare_golden(request, name: str, actual: dict, rtol: float, atol: float):
+    """Assert ``actual`` matches the named snapshot (or rewrite it)."""
+    path = GOLDEN_DIR / f"{name}.json"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden snapshot {path.name} rewritten; review the diff")
+    if not path.exists():
+        pytest.fail(
+            f"missing golden snapshot {path}; generate it with --update-golden"
+        )
+    expected = json.loads(path.read_text())
+    mismatches: list[str] = []
+    _diff("", expected, actual, rtol, atol, mismatches)
+    assert not mismatches, (
+        f"{len(mismatches)} mismatch(es) against {path.name}:\n"
+        + "\n".join(mismatches[:20])
+    )
+
+
+def _diff(prefix, expected, actual, rtol, atol, out):
+    """Recursive comparison: exact for ints/bools/strs, tolerant floats."""
+    if isinstance(expected, dict):
+        if not isinstance(actual, dict) or set(expected) != set(actual):
+            out.append(f"{prefix or '<root>'}: keys {sorted(expected)} != "
+                       f"{sorted(actual) if isinstance(actual, dict) else actual}")
+            return
+        for key in expected:
+            _diff(f"{prefix}.{key}" if prefix else key,
+                  expected[key], actual[key], rtol, atol, out)
+    elif isinstance(expected, list):
+        if not isinstance(actual, list) or len(expected) != len(actual):
+            out.append(f"{prefix}: length {len(expected)} != "
+                       f"{len(actual) if isinstance(actual, list) else actual}")
+            return
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _diff(f"{prefix}[{i}]", e, a, rtol, atol, out)
+    elif isinstance(expected, bool) or isinstance(actual, bool):
+        if expected is not actual:
+            out.append(f"{prefix}: {expected} != {actual}")
+    elif isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+        if isinstance(expected, int) and isinstance(actual, int):
+            if expected != actual:
+                out.append(f"{prefix}: {expected} != {actual} (exact int)")
+        elif not math.isclose(expected, actual, rel_tol=rtol, abs_tol=atol):
+            out.append(f"{prefix}: {expected!r} != {actual!r} "
+                       f"(rtol={rtol}, atol={atol})")
+    elif expected != actual:
+        out.append(f"{prefix}: {expected!r} != {actual!r}")
+
+
+# -- snapshot 1: the Table-I scenario comparison ------------------------------
+def _miniature_framework() -> AgingAwareFramework:
+    """Fixed-seed miniature of the Table I experiment (seconds, 1 core)."""
+    data = make_blobs(n_samples=200, n_classes=3, n_features=4, spread=0.4, seed=3)
+    config = FrameworkConfig(
+        device=DeviceConfig(pulses_to_collapse=100, write_noise=0.05),
+        train=TrainConfig(epochs=8),
+        skewed=SkewedTrainingConfig(
+            beta_scale=-1.0,
+            lambda1=0.05,
+            lambda2=1e-3,
+            pretrain=TrainConfig(epochs=8),
+            skew_epochs=4,
+        ),
+        lifetime=LifetimeConfig(
+            apps_per_window=1000,
+            max_windows=4,
+            tuning=TuningConfig(max_iterations=25),
+        ),
+        tune_samples=64,
+        target_fraction=0.9,
+    )
+    return AgingAwareFramework(
+        lambda seed: build_mlp(4, 3, hidden=(12,), seed=seed), data, config, seed=7
+    )
+
+
+def _comparison_metrics(comparison) -> dict:
+    metrics: dict = {"workload": comparison.workload}
+    for key in sorted(comparison.results):
+        r = comparison.results[key]
+        last = r.windows[-1] if r.windows else None
+        metrics[key] = {
+            "lifetime_applications": r.lifetime_applications,
+            "windows_survived": r.windows_survived,
+            "n_windows": len(r.windows),
+            "failed": r.failed,
+            "software_accuracy": r.software_accuracy,
+            "target_accuracy": r.target_accuracy,
+            "final_accuracy": last.accuracy_after if last else 0.0,
+            "final_dead_fraction": last.dead_fraction if last else 0.0,
+            "tuning_iterations": r.iteration_trace(),
+            "improvement_vs_tt": comparison.improvement(key),
+        }
+    return metrics
+
+
+class TestGoldenComparison:
+    def test_table1_miniature(self, request):
+        comparison = _miniature_framework().compare()
+        _compare_golden(
+            request,
+            "compare_blobs",
+            _comparison_metrics(comparison),
+            # Accuracies and ratios pass through training + float
+            # reductions; allow small cross-platform drift.
+            rtol=1e-6,
+            atol=1e-9,
+        )
+
+
+# -- snapshot 2: the aged-window curves (pure math, Fig. 4 shape) -------------
+class TestGoldenAgingCurves:
+    def test_aged_window_trajectory(self, request):
+        params = AgingParams.calibrated(
+            r_fresh_min=1e4, r_fresh_max=1e5, pulses_to_collapse=1e5
+        )
+        aging = ArrheniusAging(params)
+        stress = np.linspace(0.0, 0.12, 7)  # up to past full collapse
+        rows = []
+        for temperature in (280.0, 300.0, 330.0):
+            lo, hi = aging.aged_bounds(1e4, 1e5, temperature, stress)
+            rows.append(
+                {
+                    "temperature": temperature,
+                    "aged_min": list(np.asarray(lo)),
+                    "aged_max": list(np.asarray(hi)),
+                    "t_collapse": aging.stress_time_to_collapse(
+                        1e4, 1e5, temperature
+                    ),
+                }
+            )
+        # Pure closed-form math: essentially bit-stable everywhere.
+        _compare_golden(
+            request,
+            "aging_curves",
+            {"stress_time": list(stress), "curves": rows},
+            rtol=1e-12,
+            atol=1e-15,
+        )
+
+
+# -- snapshot 3: a sweep through the executor ---------------------------------
+class TestGoldenSweep:
+    def test_collapse_time_sweep(self, request):
+        def collapse_metrics(exponent, rng):
+            params = AgingParams.calibrated(
+                r_fresh_min=1e4,
+                r_fresh_max=1e5,
+                pulses_to_collapse=1e5,
+                time_exponent=exponent,
+            )
+            aging = ArrheniusAging(params)
+            return {
+                "t_collapse_300K": aging.stress_time_to_collapse(1e4, 1e5, 300.0),
+                "deg_max_mid": aging.degradation_max(300.0, 0.05),
+            }
+
+        sweep = Sweep("time_exponent", collapse_metrics, seed=13)
+        result = sweep.run([0.8, 1.0, 1.2])
+        actual = {
+            "parameter": result.parameter,
+            "points": [
+                {"value": p.value, "metrics": p.metrics} for p in result.points
+            ],
+        }
+        _compare_golden(request, "sweep_collapse", actual, rtol=1e-12, atol=1e-15)

@@ -114,6 +114,46 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    from repro.robustness import FaultCampaign, build_grid
+
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; choose from {sorted(SCENARIOS)}")
+        return 2
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    try:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    except ValueError:
+        print(f"could not parse --rates {args.rates!r} as comma-separated floats")
+        return 2
+    points = build_grid(
+        kinds=kinds,
+        rates=rates,
+        window=args.window,
+        with_degradation=not args.no_degradation,
+    )
+    framework = _build_framework(args)
+    campaign = FaultCampaign(
+        framework,
+        scenario=args.scenario,
+        repeat=args.repeat,
+        workers=args.workers,
+        cache=_make_cache(args),
+    )
+    start = time.time()
+    report = campaign.run(points)
+    elapsed = time.time() - start
+    print(report.render_text())
+    print(f"\n{len(points)} grid points in {elapsed:.0f}s")
+    if args.out:
+        import json
+
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.out}")
+    return 0
+
+
 def cmd_report(args) -> int:
     comparison = load_comparison(args.comparison)
     text = comparison_report(comparison)
@@ -181,6 +221,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cmp.add_argument("--out", default=None, help="write comparison JSON here")
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="fault-injection campaign: sweep a fault grid over one scenario",
+    )
+    common(p_camp)
+    caching(p_camp)
+    p_camp.add_argument("--scenario", default="st+at", choices=sorted(SCENARIOS))
+    p_camp.add_argument(
+        "--kinds",
+        default="stuck_at",
+        help="comma-separated fault kinds (stuck_at, drift, read_noise, "
+        "pulse_miss); default: %(default)s",
+    )
+    p_camp.add_argument(
+        "--rates",
+        default="0.005,0.01,0.02",
+        help="comma-separated fault severities; default: %(default)s",
+    )
+    p_camp.add_argument(
+        "--window",
+        type=int,
+        default=1,
+        help="application window at which faults strike; default: %(default)s",
+    )
+    p_camp.add_argument("--repeat", type=int, default=0, help="hardware seed index")
+    p_camp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for grid fan-out (results are bit-identical "
+        "to --workers 1)",
+    )
+    p_camp.add_argument(
+        "--no-degradation",
+        action="store_true",
+        help="skip the graceful-degradation half of the grid",
+    )
+    p_camp.add_argument("--out", default=None, help="write SurvivabilityReport JSON here")
+    p_camp.set_defaults(func=cmd_campaign)
 
     p_rep = sub.add_parser("report", help="render a saved comparison as Markdown")
     p_rep.add_argument("comparison", help="comparison JSON from `compare --out`")

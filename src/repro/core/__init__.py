@@ -17,6 +17,7 @@
 from repro.core.executor import (
     ParallelExecutor,
     ResultCache,
+    RetryPolicy,
     Task,
     TaskOutcome,
     fingerprint,
@@ -38,6 +39,7 @@ __all__ = [
     "PRESETS",
     "ParallelExecutor",
     "ResultCache",
+    "RetryPolicy",
     "SCENARIOS",
     "Scenario",
     "ScenarioComparison",

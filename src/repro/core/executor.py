@@ -22,6 +22,18 @@ Three pieces live here:
   the cache first and capturing per-task failures (a crashing worker
   surfaces as a failed task, never a hung pool).
 
+Resilience (used by the fault-injection campaigns of
+:mod:`repro.robustness`, where worker failures are part of the job):
+
+* :class:`RetryPolicy` — bounded re-execution of failed tasks with
+  exponential backoff, for transient worker failures;
+* per-task timeouts (``Task.timeout`` or the executor-wide
+  ``task_timeout``), enforced in parallel mode;
+* pool reconstruction — when a worker dies hard (``BrokenProcessPool``)
+  or a task times out, the pool is rebuilt and the *sibling* in-flight
+  tasks are resubmitted at no retry cost, so one poisoned task can no
+  longer fail its whole batch.
+
 Tasks are shipped to workers with :mod:`cloudpickle` when available, so
 closures and lambdas (ubiquitous in presets and test fixtures) work;
 plain :mod:`pickle` is the fallback.
@@ -31,15 +43,20 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import os
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+
+logger = logging.getLogger(__name__)
 
 try:  # cloudpickle serializes lambdas/closures; stdlib pickle cannot.
     import cloudpickle as _serializer
@@ -111,7 +128,10 @@ class ResultCache:
 
     Payloads must be JSON-serializable (use ``Task.encode``/``decode``
     to convert rich results).  Corrupt or unreadable entries degrade to
-    cache misses, never to errors.
+    cache misses, never to errors — but they are *quarantined* (renamed
+    to ``<key>.json.corrupt`` with a logged warning) rather than left in
+    place, so recurring disk corruption stays visible instead of
+    silently re-missing forever.
     """
 
     def __init__(self, root) -> None:
@@ -121,6 +141,8 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Corrupt entries renamed aside since this cache was opened.
+        self.quarantined = 0
 
     def path(self, key: str):
         return self.root / f"{key}.json"
@@ -130,16 +152,35 @@ class ResultCache:
         from repro.io import load_json
 
         path = self.path(key)
+        if not path.exists():
+            self.misses += 1
+            return _MISS
         try:
             entry = load_json(path)
             if entry.get("schema") != CACHE_SCHEMA:
                 raise ValueError(f"unknown cache schema {entry.get('schema')!r}")
             payload = entry["payload"]
-        except Exception:
+        except Exception as exc:
             self.misses += 1
+            self._quarantine(path, exc)
             return _MISS
         self.hits += 1
         return payload
+
+    def _quarantine(self, path, exc: Exception) -> None:
+        """Rename a corrupt entry aside so the damage stays observable."""
+        quarantine = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantine)
+        except OSError:  # pragma: no cover - raced/unwritable directory
+            return
+        self.quarantined += 1
+        logger.warning(
+            "quarantined corrupt cache entry %s -> %s (%s)",
+            path.name,
+            quarantine.name,
+            exc,
+        )
 
     def put(self, key: str, payload: Any) -> None:
         from repro.io import save_json_atomic
@@ -167,6 +208,39 @@ class ResultCache:
         return removed
 
 
+# -- retry policy -------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded re-execution of failed tasks with exponential backoff.
+
+    A task that raises (or whose worker dies) is re-run up to
+    ``max_retries`` further times; before the *n*-th retry the executor
+    sleeps ``min(backoff_max, backoff_base * 2**(n-1))`` seconds.
+    Retries re-run the identical payload, so for derivation-seeded tasks
+    a retried success is bit-identical to a first-attempt success —
+    retrying can only recover *transient* infrastructure failures
+    (OOM-killed worker, flaky filesystem), never change a result.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.1
+    backoff_max: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+
+    def delay(self, failures: int) -> float:
+        """Backoff before the retry following the ``failures``-th failure."""
+        if failures < 1:
+            return 0.0
+        return min(self.backoff_max, self.backoff_base * (2.0 ** (failures - 1)))
+
+
 # -- tasks --------------------------------------------------------------------
 @dataclass
 class Task:
@@ -175,7 +249,10 @@ class Task:
     ``key`` is a human-readable purpose key (also the outcome label);
     ``cache_key`` is the full content-hash key (``None`` disables
     caching for this task).  ``encode``/``decode`` convert the result to
-    and from a JSON-serializable payload for the cache.
+    and from a JSON-serializable payload for the cache.  ``timeout``
+    (seconds) bounds one execution attempt of this task — enforced in
+    parallel mode, where a hung worker can be reclaimed; serial
+    in-process execution cannot be preempted and ignores it.
     """
 
     key: str
@@ -185,6 +262,7 @@ class Task:
     cache_key: Optional[str] = None
     encode: Optional[Callable[[Any], Any]] = None
     decode: Optional[Callable[[Any], Any]] = None
+    timeout: Optional[float] = None
 
 
 @dataclass
@@ -196,6 +274,8 @@ class TaskOutcome:
     error: Optional[str] = None
     seconds: float = 0.0
     cached: bool = False
+    #: Execution attempts consumed (0 for cache hits).
+    attempts: int = 0
 
     @property
     def ok(self) -> bool:
@@ -222,13 +302,39 @@ class ParallelExecutor:
     randomness from ``(entropy, purpose-key)`` the outputs are
     bit-identical.  Results are returned in task order regardless of
     completion order.
+
+    ``retry`` enables bounded re-execution of failed tasks with
+    exponential backoff (both modes).  ``task_timeout`` bounds each
+    execution attempt (parallel mode; a per-task ``Task.timeout``
+    overrides it).  In parallel mode a hard worker death or a timeout
+    triggers pool reconstruction — bounded by ``max_pool_rebuilds`` —
+    and the unaffected in-flight tasks are resubmitted without
+    consuming one of their retries.
     """
 
-    def __init__(self, workers: int = 1, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        retry: Optional[RetryPolicy] = None,
+        task_timeout: Optional[float] = None,
+        max_pool_rebuilds: int = 3,
+    ) -> None:
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ConfigurationError(
+                f"task_timeout must be > 0, got {task_timeout}"
+            )
+        if max_pool_rebuilds < 0:
+            raise ConfigurationError(
+                f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
+            )
         self.workers = int(workers)
         self.cache = cache
+        self.retry = retry
+        self.task_timeout = task_timeout
+        self.max_pool_rebuilds = int(max_pool_rebuilds)
 
     def run(self, tasks: Sequence[Task], reraise: bool = False) -> List[TaskOutcome]:
         """Execute all tasks; returns one outcome per task, in order.
@@ -236,9 +342,9 @@ class ParallelExecutor:
         With ``reraise=False`` a failing task's exception is captured in
         its outcome's ``error`` (traceback text) and the other tasks
         still complete — including when a worker process dies, which
-        surfaces as a ``BrokenProcessPool`` error on the affected tasks
+        surfaces as a ``BrokenProcessPool`` error on the affected task
         rather than a hang.  With ``reraise=True`` the first failure
-        (in task order) propagates to the caller.
+        (in task order, after any retries) propagates to the caller.
         """
         outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
         pending: List[int] = []
@@ -269,45 +375,213 @@ class ParallelExecutor:
                 self.cache.put(task.cache_key, payload)
         return outcomes  # type: ignore[return-value]
 
+    @property
+    def _max_attempts(self) -> int:
+        return (self.retry.max_retries if self.retry is not None else 0) + 1
+
     def _run_serial(self, tasks, pending, outcomes, reraise) -> None:
         for idx in pending:
             task = tasks[idx]
             start = time.perf_counter()
+            for attempt in range(1, self._max_attempts + 1):
+                try:
+                    value = task.fn(*task.args, **task.kwargs)
+                    outcomes[idx] = TaskOutcome(
+                        task.key,
+                        value=value,
+                        seconds=time.perf_counter() - start,
+                        attempts=attempt,
+                    )
+                    break
+                except Exception:
+                    if attempt < self._max_attempts:
+                        logger.warning(
+                            "task %r failed (attempt %d/%d); retrying",
+                            task.key,
+                            attempt,
+                            self._max_attempts,
+                        )
+                        time.sleep(self.retry.delay(attempt))
+                        continue
+                    if reraise:
+                        raise
+                    outcomes[idx] = TaskOutcome(
+                        task.key,
+                        error=traceback.format_exc(limit=8),
+                        seconds=time.perf_counter() - start,
+                        attempts=attempt,
+                    )
+
+    # -- parallel path ----------------------------------------------------
+    def _make_pool(self, n_tasks: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=min(self.workers, max(1, n_tasks)))
+
+    @staticmethod
+    def _destroy_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a (possibly broken or hung) pool down without blocking.
+
+        Worker processes are terminated explicitly: after a timeout the
+        worker is still busy with the abandoned task, and ``shutdown``
+        alone would leave it running until interpreter exit.
+        """
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
             try:
-                value = task.fn(*task.args, **task.kwargs)
-                outcomes[idx] = TaskOutcome(
-                    task.key, value=value, seconds=time.perf_counter() - start
+                proc.terminate()
+            except Exception:  # pragma: no cover - already gone
+                pass
+
+    def _effective_timeout(self, task: Task) -> Optional[float]:
+        return task.timeout if task.timeout is not None else self.task_timeout
+
+    def _run_round(self, tasks, todo, pool, rebuilds_left):
+        """Execute each task in ``todo`` exactly one attempt.
+
+        Returns ``(results, pool, rebuilds_left)`` where ``results`` maps
+        task index to ``(ok, value_or_exception)``.  A broken pool or a
+        timed-out task triggers pool reconstruction; sibling tasks whose
+        futures were lost are resubmitted within the same round (their
+        attempt has not been consumed by someone else's failure).
+        """
+        results: Dict[int, Tuple[bool, Any]] = {}
+        waiting = list(todo)
+        while waiting:
+            futures = {}
+            submit_broken = False
+            submitted_at = time.monotonic()
+            for idx in waiting:
+                task = tasks[idx]
+                blob = _serializer.dumps((task.fn, task.args, task.kwargs))
+                try:
+                    futures[idx] = pool.submit(_invoke_payload, blob)
+                except BrokenExecutor as exc:
+                    # Pool already dead at submit time; record the failure
+                    # and force a rebuild below.
+                    results[idx] = (False, exc)
+                    submit_broken = True
+            order = [idx for idx in waiting if idx in futures]
+            waiting = []
+            broken_at: Optional[int] = None
+            for pos, idx in enumerate(order):
+                timeout = self._effective_timeout(tasks[idx])
+                try:
+                    if timeout is None:
+                        raw = futures[idx].result()
+                    else:
+                        remaining = submitted_at + timeout - time.monotonic()
+                        raw = futures[idx].result(timeout=max(remaining, 0.0))
+                    results[idx] = (True, _serializer.loads(raw))
+                except _FutureTimeout:
+                    results[idx] = (
+                        False,
+                        TimeoutError(
+                            f"task {tasks[idx].key!r} exceeded its "
+                            f"{timeout}s timeout"
+                        ),
+                    )
+                    broken_at = pos
+                    break
+                except BrokenExecutor as exc:
+                    results[idx] = (False, exc)
+                    broken_at = pos
+                    break
+                except Exception as exc:
+                    results[idx] = (False, exc)
+            if broken_at is None and not submit_broken and not waiting:
+                break
+            if broken_at is not None:
+                # Reap the siblings: futures that already finished keep
+                # their results; the rest are collateral of the broken
+                # pool/hung worker and go back for a free resubmission.
+                for idx in order[broken_at + 1:]:
+                    fut = futures[idx]
+                    if fut.done():
+                        try:
+                            results[idx] = (
+                                True,
+                                _serializer.loads(fut.result(timeout=0)),
+                            )
+                        except (BrokenExecutor, _FutureTimeout):
+                            waiting.append(idx)
+                        except Exception as exc:
+                            results[idx] = (False, exc)
+                    else:
+                        waiting.append(idx)
+            self._destroy_pool(pool)
+            if waiting and rebuilds_left <= 0:
+                err = RuntimeError(
+                    "worker pool broke repeatedly "
+                    f"(max_pool_rebuilds={self.max_pool_rebuilds} exhausted); "
+                    "giving up on the remaining tasks of this round"
                 )
-            except Exception:
-                if reraise:
-                    raise
-                outcomes[idx] = TaskOutcome(
-                    task.key,
-                    error=traceback.format_exc(limit=8),
-                    seconds=time.perf_counter() - start,
+                for idx in waiting:
+                    results[idx] = (False, err)
+                waiting = []
+            rebuilds_left -= 1
+            pool = self._make_pool(max(1, len(waiting) or len(todo)))
+            if waiting:
+                logger.warning(
+                    "worker pool rebuilt; resubmitting %d in-flight task(s)",
+                    len(waiting),
                 )
+        return results, pool, rebuilds_left
 
     def _run_parallel(self, tasks, pending, outcomes, reraise) -> None:
         start = time.perf_counter()
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
-            futures = {}
-            for idx in pending:
-                task = tasks[idx]
-                payload = _serializer.dumps((task.fn, task.args, task.kwargs))
-                futures[idx] = pool.submit(_invoke_payload, payload)
-            for idx in pending:
-                task = tasks[idx]
-                try:
-                    value = _serializer.loads(futures[idx].result())
-                    outcomes[idx] = TaskOutcome(
-                        task.key, value=value, seconds=time.perf_counter() - start
-                    )
-                except Exception as exc:
-                    if reraise:
-                        raise
-                    text = "".join(
-                        traceback.format_exception(type(exc), exc, exc.__traceback__)
-                    )
-                    outcomes[idx] = TaskOutcome(
-                        task.key, error=text, seconds=time.perf_counter() - start
-                    )
+        todo = list(pending)
+        failures: Dict[int, BaseException] = {}
+        attempts = {idx: 0 for idx in pending}
+        pool = self._make_pool(len(pending))
+        rebuilds_left = self.max_pool_rebuilds
+        try:
+            round_no = 1
+            while todo:
+                if round_no > 1:
+                    time.sleep(self.retry.delay(round_no - 1))
+                results, pool, rebuilds_left = self._run_round(
+                    tasks, todo, pool, rebuilds_left
+                )
+                retry_next: List[int] = []
+                for idx in todo:
+                    attempts[idx] += 1
+                    ok, payload = results[idx]
+                    if ok:
+                        outcomes[idx] = TaskOutcome(
+                            tasks[idx].key,
+                            value=payload,
+                            seconds=time.perf_counter() - start,
+                            attempts=attempts[idx],
+                        )
+                    elif round_no < self._max_attempts:
+                        logger.warning(
+                            "task %r failed (attempt %d/%d); retrying",
+                            tasks[idx].key,
+                            round_no,
+                            self._max_attempts,
+                        )
+                        retry_next.append(idx)
+                    else:
+                        failures[idx] = payload
+                todo = retry_next
+                round_no += 1
+        finally:
+            # The current pool is healthy/idle on every exit path (hung
+            # or broken pools were already destroyed and replaced inside
+            # _run_round), so a graceful shutdown cannot block.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+        for idx, exc in failures.items():
+            if reraise:
+                raise exc
+            text = "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            )
+            outcomes[idx] = TaskOutcome(
+                tasks[idx].key,
+                error=text,
+                seconds=time.perf_counter() - start,
+                attempts=attempts[idx],
+            )

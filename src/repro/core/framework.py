@@ -9,7 +9,7 @@ freshly seeded hardware).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
@@ -126,29 +126,40 @@ class AgingAwareFramework:
                 ) from None
         return scenario
 
-    def scenario_cache_key(self, scenario: Scenario | str, repeat: int = 0) -> str:
+    def scenario_cache_key(
+        self, scenario: Scenario | str, repeat: int = 0, extra=None
+    ) -> str:
         """Content-hash cache key of one scenario run.
 
         Covers everything the run depends on: the scenario, the repeat
         index, the framework entropy (which seeds training, hardware and
         tuning streams), the full configuration tree and the dataset
         arrays — so any change to any of them is a cache miss.
+
+        ``extra`` carries additional run inputs (e.g. a fault schedule
+        and degradation policy); it is folded into the key only when
+        present, so plain scenario runs keep their historical keys.
         """
         scenario = self._resolve_scenario(scenario)
-        return fingerprint(
+        parts = [
             "scenario-run/v1",
             scenario,
             int(repeat),
             self._entropy,
             self.config,
             self.dataset,
-        )
+        ]
+        if extra is not None:
+            parts.append(extra)
+        return fingerprint(*parts)
 
     def run_scenario(
         self,
         scenario: Scenario | str,
         repeat: int = 0,
         cache: Optional[ResultCache] = None,
+        fault_schedule=None,
+        degradation=None,
     ) -> LifetimeResult:
         """Run one scenario's full lifetime simulation.
 
@@ -158,12 +169,23 @@ class AgingAwareFramework:
         aggregate a few repeats — see :meth:`run_scenario_repeats`.
         A hit in ``cache`` (keyed by :meth:`scenario_cache_key`) skips
         the simulation — and the training — entirely.
+
+        ``fault_schedule`` (a :class:`repro.robustness.FaultSchedule`)
+        injects field faults during the run; ``degradation`` (a
+        :class:`repro.robustness.DegradationPolicy`) switches the
+        graceful-degradation levers of tuning and mapping.  Both fold
+        into the cache key when present.
         """
         scenario = self._resolve_scenario(scenario)
         if repeat < 0:
             raise ConfigurationError(f"repeat must be >= 0, got {repeat}")
+        extra = (
+            None
+            if fault_schedule is None and degradation is None
+            else ("robustness/v1", fault_schedule, degradation)
+        )
         if cache is not None:
-            key = self.scenario_cache_key(scenario, repeat)
+            key = self.scenario_cache_key(scenario, repeat, extra=extra)
             payload = cache.get(key)
             if payload is not _MISS:
                 return LifetimeResult.from_dict(payload)
@@ -182,6 +204,13 @@ class AgingAwareFramework:
         lifetime_cfg = cfg.lifetime.with_target(
             min(0.999, max(1e-6, self._resolve_target(scenario.skewed_training)))
         )
+        if degradation is not None and degradation.mask_dead_devices:
+            lifetime_cfg.tuning = replace(lifetime_cfg.tuning, mask_dead_devices=True)
+
+        mapper = None
+        if scenario.aging_aware_mapping:
+            fault_aware = degradation is not None and degradation.fault_aware_mapping
+            mapper = AgingAwareMapper(fault_aware=fault_aware)
 
         simulator = LifetimeSimulator(
             network,
@@ -189,8 +218,9 @@ class AgingAwareFramework:
             y_tune,
             config=lifetime_cfg,
             aging_aware=scenario.aging_aware_mapping,
-            mapper=AgingAwareMapper() if scenario.aging_aware_mapping else None,
+            mapper=mapper,
             seed=derive_rng(self._entropy, f"tune-{scenario.key}-{repeat}"),
+            fault_schedule=fault_schedule,
         )
         result = simulator.run(scenario.key)
         result.software_accuracy = self.software_accuracy(scenario.skewed_training)

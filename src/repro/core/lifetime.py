@@ -29,6 +29,7 @@ from repro.exceptions import ConfigurationError
 from repro.mapping.aging_aware import AgingAwareMapper
 from repro.mapping.fresh import FreshMapper
 from repro.mapping.network import MappedNetwork
+from repro.rng import spawn_rng
 from repro.tuning.online import OnlineTuner, TuningConfig
 
 
@@ -102,6 +103,7 @@ class LifetimeSimulator:
         mapper: Optional[AgingAwareMapper] = None,
         maintenance_hooks=None,
         seed=None,
+        fault_schedule=None,
     ) -> None:
         self.network = network
         self.x_tune = np.asarray(x_tune, dtype=np.float64)
@@ -116,6 +118,17 @@ class LifetimeSimulator:
         #: :class:`repro.mitigation.row_swap.RowSwapper.apply_to_network`.
         self.maintenance_hooks = list(maintenance_hooks or [])
         self.tuner = OnlineTuner(self.config.tuning, seed=seed)
+        #: Optional :class:`repro.robustness.FaultSchedule`; its due
+        #: events are applied at the start of each window.  The fault
+        #: stream is derived from the tuner's generator only when a
+        #: schedule is present, so fault-free runs consume the exact
+        #: same random state as before this feature existed.
+        self.fault_schedule = fault_schedule
+        self._fault_rng = (
+            spawn_rng(self.tuner._rng, "fault-schedule")
+            if fault_schedule is not None
+            else None
+        )
 
     def _remap(self) -> None:
         if self.aging_aware:
@@ -136,6 +149,12 @@ class LifetimeSimulator:
         )
         applications = 0
         for window in range(cfg.max_windows):
+            # Field faults land first: a schedule's due events hit the
+            # array before this window's applications, so the following
+            # maintenance cycle has to recover from them.
+            if self.fault_schedule is not None:
+                self.fault_schedule.apply(self.network, window, self._fault_rng)
+
             # The window's applications happen first; the array drifts.
             applications += cfg.apps_per_window
             self.network.apply_drift(cfg.drift_magnitude)

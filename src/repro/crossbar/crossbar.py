@@ -63,6 +63,13 @@ class Crossbar:
         self.stress_time = np.zeros(shape, dtype=np.float64)
         #: Programmed resistances; fresh devices wake up in their HRS.
         self.resistance = self.r_fresh_max.copy()
+        #: Fault-injection controls (set by
+        #: :class:`repro.robustness.FaultSchedule`): additional relative
+        #: read-noise sigma on top of ``config.read_noise``, and the
+        #: probability that a programming/tuning pulse silently fails to
+        #: fire (driver fault: no state change, no stress).
+        self.read_noise_extra = 0.0
+        self.pulse_miss_rate = 0.0
 
     # -- aging state ------------------------------------------------------
     @property
@@ -105,6 +112,19 @@ class Crossbar:
         factor = self.config.stress_factor(at_resistance)
         self.stress_time[mask] += self.config.pulse_width * factor[mask]
 
+    def _apply_pulse_misses(self, select: np.ndarray) -> np.ndarray:
+        """Drop selected devices whose programming pulse silently fails.
+
+        A missed pulse is a driver/selector fault: the device neither
+        moves nor accrues stress.  Draws are only made when the miss
+        rate is nonzero so fault-free runs consume the exact same RNG
+        stream as before the fault hooks existed.
+        """
+        if self.pulse_miss_rate <= 0:
+            return select
+        fired = self._rng.random(self.shape) >= self.pulse_miss_rate
+        return select & fired
+
     def program(
         self,
         targets: np.ndarray,
@@ -135,6 +155,7 @@ class Crossbar:
             select = alive & needs
         else:
             select = alive
+        select = self._apply_pulse_misses(select)
         # Stress scales with the current at the programmed target: the
         # pulse drives the device towards (and holds it at) the target
         # resistance, so the target sets the dissipated power.
@@ -164,7 +185,7 @@ class Crossbar:
         if not np.all(np.isin(directions, (-1, 0, 1))):
             raise ConfigurationError("directions must contain only -1, 0, 1")
 
-        select = (directions != 0) & ~self.dead_mask()
+        select = self._apply_pulse_misses((directions != 0) & ~self.dead_mask())
         self._apply_stress(select, self.resistance)
         lo, hi = self.aged_bounds()
         stepped = self.resistance + directions * self.grid.step
@@ -197,7 +218,7 @@ class Crossbar:
         if fraction <= 0:
             raise ConfigurationError(f"fraction must be > 0, got {fraction}")
 
-        select = (directions != 0) & ~self.dead_mask()
+        select = self._apply_pulse_misses((directions != 0) & ~self.dead_mask())
         self._apply_stress(select, self.resistance)
         g_step = fraction * (self.config.g_max - self.config.g_min) / (self.grid.n_levels - 1)
         g_new = 1.0 / self.resistance + directions * g_step
@@ -234,11 +255,16 @@ class Crossbar:
 
     # -- read-out ---------------------------------------------------------------
     def read_resistances(self) -> np.ndarray:
-        """Resistance read-out (with read noise if configured)."""
-        if self.config.read_noise <= 0:
+        """Resistance read-out (with read noise if configured).
+
+        Injected noise (``read_noise_extra``, from a fault schedule)
+        adds in sigma on top of the device config's intrinsic noise.
+        """
+        sigma = self.config.read_noise + self.read_noise_extra
+        if sigma <= 0:
             return self.resistance.copy()
         noisy = self.resistance * (
-            1.0 + self._rng.normal(0.0, self.config.read_noise, size=self.shape)
+            1.0 + self._rng.normal(0.0, sigma, size=self.shape)
         )
         return np.maximum(noisy, 1e-3)
 

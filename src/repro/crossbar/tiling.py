@@ -105,10 +105,16 @@ class TiledMatrix:
         """Total programming pulses across all tiles."""
         return sum(tile.total_pulses() for _rs, _cs, tile in self.iter_tiles())
 
+    def dead_mask(self) -> np.ndarray:
+        """Logical boolean mask of dead (window-collapsed) devices."""
+        out = np.empty(self.shape, dtype=bool)
+        for rs, cs, tile in self.iter_tiles():
+            out[rs, cs] = tile.dead_mask()
+        return out
+
     def dead_fraction(self) -> float:
         """Fraction of dead devices over the logical matrix."""
-        dead = [tile.dead_mask().sum() for _rs, _cs, tile in self.iter_tiles()]
-        return float(sum(int(d) for d in dead) / (self.rows * self.cols))
+        return float(np.mean(self.dead_mask()))
 
     # -- operations ----------------------------------------------------------
     def program(self, targets: np.ndarray, only_changed: bool = True) -> np.ndarray:

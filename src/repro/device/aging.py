@@ -139,20 +139,29 @@ class ArrheniusAging:
     def degradation_max(self, temperature: float, stress_time: ArrayLike) -> ArrayLike:
         """``f(T, t)`` — drop of the upper resistance bound (Eq. 6)."""
         p = self.params
+        scalar = np.isscalar(stress_time)
         t = np.maximum(np.asarray(stress_time, dtype=np.float64), 0.0)
+        if scalar:
+            # Route through a 1-element array: numpy's vectorized pow
+            # can differ from the 0-d/scalar path in the last ulp, and
+            # the scalar result must match the array path bit for bit.
+            t = t.reshape(1)
         out = self._rate(p.prefactor_max, p.activation_energy_max, temperature) * (
             t**p.time_exponent_max
         )
-        return float(out) if np.isscalar(stress_time) else out
+        return float(out[0]) if scalar else out
 
     def degradation_min(self, temperature: float, stress_time: ArrayLike) -> ArrayLike:
         """``g(T, t)`` — drop of the lower resistance bound (Eq. 7)."""
         p = self.params
+        scalar = np.isscalar(stress_time)
         t = np.maximum(np.asarray(stress_time, dtype=np.float64), 0.0)
+        if scalar:
+            t = t.reshape(1)
         out = self._rate(p.prefactor_min, p.activation_energy_min, temperature) * (
             t**p.time_exponent_min
         )
-        return float(out) if np.isscalar(stress_time) else out
+        return float(out[0]) if scalar else out
 
     def aged_bounds(
         self,

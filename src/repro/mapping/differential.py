@@ -122,14 +122,53 @@ class DifferentialMappedLayer:
     def software_matrix(self) -> np.ndarray:
         return _layer_matrix(self.layer)
 
-    def program(self) -> None:
-        """Map + program both arms (each device takes a pulse)."""
+    def program(self, compensate_stuck: bool = False) -> None:
+        """Map + program both arms (each device takes a pulse).
+
+        With ``compensate_stuck=True`` (graceful degradation), pairs
+        where exactly one arm is dead get a second pass: the healthy
+        arm is retargeted so the pair *difference* still realizes the
+        weight against the stuck arm's actual pinned conductance,
+        clipped to ``[g_min, g_max]``.  Pairs with both arms dead are
+        beyond repair and keep whatever they are stuck at.
+        """
         self.mapping = DifferentialPairMapping.from_weights(
             self.software_matrix(), self.device_config.g_min, self.device_config.g_max
         )
-        r_plus, r_minus = self.mapping.weight_to_resistances(self.software_matrix())
+        w = self.software_matrix()
+        r_plus, r_minus = self.mapping.weight_to_resistances(w)
         self.plus.program(np.asarray(r_plus))
         self.minus.program(np.asarray(r_minus))
+        if compensate_stuck:
+            self._compensate_stuck(w)
+
+    def _compensate_stuck(self, w: np.ndarray) -> None:
+        """Retarget healthy arms of half-dead pairs (see :meth:`program`)."""
+        assert self.mapping is not None
+        dead_p = self.plus.dead_mask()
+        dead_m = self.minus.dead_mask()
+        slope = self.mapping.slope
+        g_lo, g_hi = self.device_config.g_min, self.device_config.g_max
+        fix_minus = dead_p & ~dead_m
+        if fix_minus.any():
+            g_p_stuck = 1.0 / self.plus.resistances()
+            g_m_new = np.clip(g_p_stuck - w * slope, g_lo, g_hi)
+            targets = np.where(fix_minus, 1.0 / g_m_new, self.minus.resistances())
+            self.minus.program(targets)
+        fix_plus = dead_m & ~dead_p
+        if fix_plus.any():
+            g_m_stuck = 1.0 / self.minus.resistances()
+            g_p_new = np.clip(g_m_stuck + w * slope, g_lo, g_hi)
+            targets = np.where(fix_plus, 1.0 / g_p_new, self.plus.resistances())
+            self.plus.program(targets)
+
+    def dead_device_mask(self) -> np.ndarray:
+        """Pairs that can no longer represent their weight at all.
+
+        A pair is only unrecoverable once *both* arms are dead — a
+        single stuck arm can still be compensated by its partner.
+        """
+        return self.plus.dead_mask() & self.minus.dead_mask()
 
     def hardware_matrix(self) -> np.ndarray:
         if self.mapping is None:
@@ -206,10 +245,10 @@ class DifferentialMappedNetwork:
         self._scratch = clone_model(model)
         self._scratch.set_regularizers(None)
 
-    def map_network(self) -> None:
+    def map_network(self, compensate_stuck: bool = False) -> None:
         """Program every layer's pair arrays."""
         for layer in self.layers:
-            layer.program()
+            layer.program(compensate_stuck=compensate_stuck)
 
     def effective_model(self) -> Sequential:
         self._scratch.set_weights(self.model.get_weights())

@@ -239,6 +239,15 @@ class MappedLayer:
         self.tiles.step_conductance(self._to_physical(directions), fraction=step_fraction)
         return int(np.count_nonzero(directions))
 
+    def dead_device_mask(self) -> np.ndarray:
+        """Dead devices in the *logical* matrix arrangement.
+
+        Dead masks come out of the tiles in physical coordinates; the
+        logical view matches gradient/weight matrices so tuning can
+        mask pulses to devices that cannot respond.
+        """
+        return self._to_logical(self.tiles.dead_mask())
+
     def mean_aged_upper_bound(self) -> float:
         """Average aged ``R_max`` over all devices (Fig. 11 metric)."""
         _lo, hi = self.tiles.aged_bounds()

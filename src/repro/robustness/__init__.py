@@ -1,0 +1,29 @@
+"""Fault-injection campaigns and graceful degradation.
+
+The paper's lifetime model assumes defect-free arrays; this package
+quantifies what happens when they are not.  :class:`FaultSchedule`
+injects field faults (stuck-at, drift bursts, sensing noise,
+programming-pulse misses) at chosen windows of a
+:class:`~repro.core.lifetime.LifetimeSimulator` run,
+:class:`DegradationPolicy` switches the recovery levers built into
+mapping and tuning, :class:`FaultCampaign` fans a grid of fault
+scenarios through the parallel executor, and
+:class:`SurvivabilityReport` aggregates the results into
+accuracy-vs-fault-rate and lifetime-degradation curves.
+"""
+
+from repro.robustness.campaign import CampaignPoint, FaultCampaign, build_grid
+from repro.robustness.degradation import DegradationPolicy
+from repro.robustness.report import SurvivabilityRecord, SurvivabilityReport
+from repro.robustness.schedule import FaultEvent, FaultSchedule
+
+__all__ = [
+    "CampaignPoint",
+    "DegradationPolicy",
+    "FaultCampaign",
+    "FaultEvent",
+    "FaultSchedule",
+    "SurvivabilityRecord",
+    "SurvivabilityReport",
+    "build_grid",
+]

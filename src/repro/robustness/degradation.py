@@ -1,0 +1,71 @@
+"""Graceful-degradation policy bundle.
+
+Injected faults are only half the story — the interesting question is
+how much of the damage the *controller* can absorb.  The repo has three
+degradation levers, each living in the subsystem it protects:
+
+* **Dead-device gradient masking**
+  (:attr:`repro.tuning.online.TuningConfig.mask_dead_devices`): tuning
+  stops wasting constant-amplitude pulses (and their aging stress) on
+  devices whose window has collapsed, and stops letting an untunable
+  weight's gradient anchor the per-layer pulse threshold.
+* **Fault-aware range selection**
+  (:class:`repro.mapping.aging_aware.AgingAwareMapper` with
+  ``fault_aware=True``): traced bounds of stuck/dead devices are
+  excluded from common-range candidates so a handful of welded cells
+  cannot compress every healthy device into a few levels.
+* **Stuck-arm compensation** (differential pairs,
+  :meth:`repro.mapping.differential.DifferentialMappedLayer.program`
+  with ``compensate_stuck=True``): when one arm of a pair is stuck the
+  healthy partner is retargeted so the pair difference still realizes
+  the weight.
+
+:class:`DegradationPolicy` bundles the switches so campaigns can toggle
+recovery as one axis of the fault grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Which graceful-degradation mechanisms are active."""
+
+    mask_dead_devices: bool = True
+    fault_aware_mapping: bool = True
+    compensate_stuck: bool = True
+
+    @classmethod
+    def enabled(cls) -> "DegradationPolicy":
+        """All mechanisms on (the campaign default)."""
+        return cls()
+
+    @classmethod
+    def disabled(cls) -> "DegradationPolicy":
+        """All mechanisms off — the ablation baseline."""
+        return cls(
+            mask_dead_devices=False,
+            fault_aware_mapping=False,
+            compensate_stuck=False,
+        )
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.mask_dead_devices or self.fault_aware_mapping or self.compensate_stuck
+
+    def to_dict(self) -> dict:
+        return {
+            "mask_dead_devices": self.mask_dead_devices,
+            "fault_aware_mapping": self.fault_aware_mapping,
+            "compensate_stuck": self.compensate_stuck,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DegradationPolicy":
+        return cls(
+            mask_dead_devices=bool(d.get("mask_dead_devices", True)),
+            fault_aware_mapping=bool(d.get("fault_aware_mapping", True)),
+            compensate_stuck=bool(d.get("compensate_stuck", True)),
+        )

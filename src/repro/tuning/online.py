@@ -72,6 +72,12 @@ class TuningConfig:
         burning the rest of the budget.  Set to 0 to disable.
     hopeless_gap:
         See ``patience_evals``.
+    mask_dead_devices:
+        Graceful degradation: zero the gradient at devices whose aged
+        window has collapsed before thresholding, so pulses (and their
+        aging stress) are not wasted on devices that cannot respond and
+        the per-layer ``max|grad|`` threshold is not anchored to an
+        untunable weight's error.
     """
 
     target_accuracy: float = 0.9
@@ -84,6 +90,7 @@ class TuningConfig:
     eval_every: int = 1
     patience_evals: int = 0
     hopeless_gap: float = 0.15
+    mask_dead_devices: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.target_accuracy <= 1.0:
@@ -162,9 +169,12 @@ class OnlineTuner:
             idx = self._rng.choice(len(x_tune), size=min(cfg.batch_size, len(x_tune)), replace=False)
             grads = network.gradient_sign_matrices(x_tune[idx], y_tune[idx])
             for mapped in network.layers:
-                mapped.apply_gradient_signs(
-                    grads[mapped.layer_index], cfg.threshold, step_fraction
-                )
+                grad = grads[mapped.layer_index]
+                if cfg.mask_dead_devices:
+                    dead = mapped.dead_device_mask()
+                    if dead.any():
+                        grad = np.where(dead, 0.0, grad)
+                mapped.apply_gradient_signs(grad, cfg.threshold, step_fraction)
 
             if iteration % cfg.eval_every == 0 or iteration == cfg.max_iterations:
                 accuracy = network.score(x_tune, y_tune)
@@ -195,9 +205,12 @@ class OnlineTuner:
                 ):
                     break
 
+        # ``iteration`` (not cfg.max_iterations): the patience break may
+        # have stopped the loop early, and the result must report the
+        # pulse sweeps actually spent.
         return TuningResult(
             False,
-            cfg.max_iterations,
+            iteration,
             accuracy,
             initial,
             network.total_pulses() - pulses_before,

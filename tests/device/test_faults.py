@@ -31,6 +31,71 @@ class TestFaultModel:
         assert not lrs.any() and not hrs.any()
 
 
+class TestDeterminism:
+    """Same seed → identical fault maps, bit for bit."""
+
+    def test_sample_masks_same_seed_identical(self):
+        model = FaultModel(rate_lrs=0.07, rate_hrs=0.04)
+        lrs_a, hrs_a = model.sample_masks((64, 64), seed=42)
+        lrs_b, hrs_b = model.sample_masks((64, 64), seed=42)
+        np.testing.assert_array_equal(lrs_a, lrs_b)
+        np.testing.assert_array_equal(hrs_a, hrs_b)
+
+    def test_sample_masks_different_seed_differs(self):
+        model = FaultModel(rate_lrs=0.1, rate_hrs=0.1)
+        lrs_a, _ = model.sample_masks((64, 64), seed=42)
+        lrs_b, _ = model.sample_masks((64, 64), seed=43)
+        assert not np.array_equal(lrs_a, lrs_b)
+
+    def test_sample_masks_rates_within_binomial_tolerance(self):
+        model = FaultModel(rate_lrs=0.08, rate_hrs=0.03)
+        shape = (300, 300)
+        n = shape[0] * shape[1]
+        lrs, hrs = model.sample_masks(shape, seed=17)
+        # 4-sigma binomial band around the expected count.
+        for mask, rate in ((lrs, 0.08), (hrs, 0.03)):
+            sigma = np.sqrt(n * rate * (1.0 - rate))
+            assert abs(int(mask.sum()) - n * rate) <= 4.0 * sigma
+
+    def test_sample_masks_disjoint_at_high_rates(self):
+        model = FaultModel(rate_lrs=0.45, rate_hrs=0.45)
+        lrs, hrs = model.sample_masks((100, 100), seed=19)
+        assert not np.any(lrs & hrs)
+
+    def test_inject_faults_network_same_seed_identical(
+        self, trained_mlp, device_config
+    ):
+        from repro.mapping import MappedNetwork
+
+        model = FaultModel(rate_lrs=0.05, rate_hrs=0.05)
+        nets = []
+        for _ in range(2):
+            net = MappedNetwork(trained_mlp, device_config, seed=21)
+            frac = inject_faults_network(net, model, seed=22)
+            nets.append((net, frac))
+        (net_a, frac_a), (net_b, frac_b) = nets
+        assert frac_a == frac_b
+        for layer_a, layer_b in zip(net_a.layers, net_b.layers):
+            np.testing.assert_array_equal(
+                layer_a.tiles.resistances(), layer_b.tiles.resistances()
+            )
+            np.testing.assert_array_equal(
+                layer_a.tiles.dead_mask(), layer_b.tiles.dead_mask()
+            )
+
+    def test_inject_faults_network_differential(self, trained_mlp, device_config):
+        from repro.mapping.differential import DifferentialMappedNetwork
+
+        net = DifferentialMappedNetwork(trained_mlp, device_config, seed=23)
+        net.map_network()
+        frac = inject_faults_network(net, FaultModel(rate_lrs=0.1), seed=24)
+        assert frac == pytest.approx(0.1, abs=0.05)
+        assert any(
+            layer.plus.dead_mask().any() or layer.minus.dead_mask().any()
+            for layer in net.layers
+        )
+
+
 class TestInjectFaults:
     def test_stuck_values_pinned(self, device_config):
         xb = Crossbar(20, 20, device_config, seed=4)

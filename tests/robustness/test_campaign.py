@@ -1,0 +1,173 @@
+"""Campaign runner, survivability report, and the CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.core import ResultCache
+from repro.exceptions import ConfigurationError
+from repro.robustness import (
+    CampaignPoint,
+    DegradationPolicy,
+    FaultCampaign,
+    SurvivabilityReport,
+    build_grid,
+)
+
+
+class TestBuildGrid:
+    def test_default_grid_shape(self):
+        points = build_grid(kinds=("stuck_at",), rates=(0.005, 0.01))
+        # baseline + 2 rates x {raw, deg}
+        assert len(points) == 5
+        assert points[0].name == "baseline"
+        assert points[0].fault_kind == "none"
+        names = {p.name for p in points}
+        assert "stuck_at@0.005/raw" in names
+        assert "stuck_at@0.01/deg" in names
+
+    def test_no_degradation_halves_grid(self):
+        points = build_grid(
+            kinds=("stuck_at",), rates=(0.01,), with_degradation=False
+        )
+        assert [p.name for p in points] == ["baseline", "stuck_at@0.01/raw"]
+        assert not points[1].degradation_enabled
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_grid(kinds=(), rates=(0.01,))
+        with pytest.raises(ConfigurationError):
+            build_grid(kinds=("stuck_at",), rates=(0.0,))
+
+    def test_degradation_enabled_flag(self):
+        point = CampaignPoint(
+            name="x",
+            fault_kind="stuck_at",
+            fault_rate=0.01,
+            degradation=DegradationPolicy.disabled(),
+        )
+        assert not point.degradation_enabled
+
+
+class TestFaultCampaign:
+    GRID = dict(kinds=("stuck_at",), rates=(0.02,), window=1)
+
+    def test_duplicate_names_rejected(self, mini_framework):
+        campaign = FaultCampaign(mini_framework, scenario="st+at")
+        point = build_grid(**self.GRID)[0]
+        with pytest.raises(ConfigurationError):
+            campaign.run([point, point])
+
+    def test_serial_parallel_and_cache_agree(self, mini_framework, tmp_path):
+        points = build_grid(**self.GRID)
+        serial = FaultCampaign(mini_framework, scenario="st+at").run(points)
+
+        cache = ResultCache(tmp_path / "cache")
+        par = FaultCampaign(
+            mini_framework, scenario="st+at", workers=2, cache=cache
+        ).run(points)
+        assert [r.to_dict() for r in par.records] == [
+            r.to_dict() for r in serial.records
+        ]
+
+        # Second run must be pure cache hits and still identical.
+        assert len(cache) == len(points)
+        warm = FaultCampaign(
+            mini_framework, scenario="st+at", workers=2, cache=cache
+        ).run(points)
+        assert cache.hits >= len(points)
+        assert [r.to_dict() for r in warm.records] == [
+            r.to_dict() for r in serial.records
+        ]
+
+    def test_baseline_point_shares_plain_scenario_cache(
+        self, mini_framework, tmp_path
+    ):
+        """The fault-free grid point and run_scenario use the same key."""
+        cache = ResultCache(tmp_path / "cache")
+        mini_framework.run_scenario("st+at", cache=cache)
+        assert len(cache) == 1
+        points = build_grid(
+            kinds=("stuck_at",), rates=(0.02,), window=1, with_degradation=False
+        )
+        FaultCampaign(mini_framework, scenario="st+at", cache=cache).run(points)
+        # baseline hit the pre-existing entry; only the fault point was new
+        assert cache.hits >= 1
+        assert len(cache) == 2
+
+    def test_report_contents_and_roundtrip(self, mini_framework):
+        points = build_grid(**self.GRID)
+        report = FaultCampaign(mini_framework, scenario="st+at").run(points)
+        assert report.scenario_key == "st+at"
+        assert len(report.records) == len(points)
+
+        base = report.baseline()
+        assert base is not None and base.fault_kind == "none"
+        assert report.fault_kinds() == ["stuck_at"]
+        curve = report.lifetime_curve("stuck_at", degradation=False)
+        assert len(curve) == 1
+        ratios = report.lifetime_degradation("stuck_at", degradation=False)
+        assert all(ratio <= 1.0 + 1e-9 for _rate, ratio in ratios)
+
+        clone = SurvivabilityReport.from_dict(
+            json.loads(json.dumps(report.to_dict()))
+        )
+        assert [r.to_dict() for r in clone.records] == [
+            r.to_dict() for r in report.records
+        ]
+        text = report.render_text()
+        assert "baseline" in text and "stuck_at" in text
+
+
+class TestCampaignCli:
+    def test_help(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["campaign", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "--kinds" in out and "--rates" in out
+
+    def test_tiny_campaign_writes_report(self, tmp_path, capsys, monkeypatch):
+        from tests.robustness.conftest import make_mini_framework
+
+        from repro.cli import main
+        from repro.core.presets import PRESETS, ExperimentPreset
+
+        # Register a laptop-instant preset so the CLI path runs end to
+        # end without the real (minutes-long) presets.
+        template = make_mini_framework()
+
+        def tiny_blobs(fast: bool = False) -> ExperimentPreset:
+            return ExperimentPreset(
+                name="tiny-blobs",
+                make_dataset=lambda: template.dataset,
+                build_network=template.network_builder,
+                framework_config=template.config,
+                seed=7,
+            )
+
+        monkeypatch.setitem(PRESETS, "tiny-blobs", tiny_blobs)
+        out_path = tmp_path / "report.json"
+        rc = main(
+            [
+                "campaign",
+                "--preset",
+                "tiny-blobs",
+                "--scenario",
+                "st+at",
+                "--kinds",
+                "stuck_at",
+                "--rates",
+                "0.02",
+                "--no-degradation",
+                "--no-cache",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        report = SurvivabilityReport.from_dict(json.loads(out_path.read_text()))
+        assert {r.fault_kind for r in report.records} == {"none", "stuck_at"}
+        assert "Survivability" in capsys.readouterr().out

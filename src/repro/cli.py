@@ -20,8 +20,26 @@ from typing import Optional, Sequence
 from repro.analysis import ascii_series, comparison_report, render_table
 from repro.core import AgingAwareFramework, ResultCache
 from repro.core.presets import PRESETS
+from repro.core.profiling import PROFILER
 from repro.core.scenarios import SCENARIOS
 from repro.io import load_comparison, save_comparison, save_result, save_weights
+
+
+def _emit_profile(args) -> None:
+    """Dump the perf-counter registry per ``--profile`` (see DESIGN.md §9).
+
+    ``--profile`` alone prints the text table to stdout; ``--profile
+    PATH`` writes the JSON snapshot to ``PATH``.
+    """
+    dest = getattr(args, "profile", None)
+    if dest is None:
+        return
+    if dest == "-":
+        print()
+        print(PROFILER.render_text())
+    else:
+        PROFILER.export_json(dest)
+        print(f"perf counters written to {dest}")
 
 
 def _build_framework(args) -> AgingAwareFramework:
@@ -83,6 +101,7 @@ def cmd_run(args) -> int:
     if args.out:
         save_result(result, args.out)
         print(f"result written to {args.out}")
+    _emit_profile(args)
     return 0
 
 
@@ -111,6 +130,7 @@ def cmd_compare(args) -> int:
     if args.out:
         save_comparison(comparison, args.out)
         print(f"comparison written to {args.out}")
+    _emit_profile(args)
     return 0
 
 
@@ -149,8 +169,9 @@ def cmd_campaign(args) -> int:
         import json
 
         with open(args.out, "w") as handle:
-            json.dump(report.to_dict(), handle, indent=2)
+            json.dump(report.to_dict(include_perf=True), handle, indent=2)
         print(f"report written to {args.out}")
+    _emit_profile(args)
     return 0
 
 
@@ -183,6 +204,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--fast", action="store_true", help="use the fast preset variant")
         p.add_argument("--seed", type=int, default=None)
 
+    def profiling(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--profile",
+            nargs="?",
+            const="-",
+            default=None,
+            metavar="PATH",
+            help="after the run, print the kernel perf counters (or write "
+            "them to PATH as JSON)",
+        )
+
     def caching(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--cache-dir",
@@ -203,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one lifetime scenario")
     common(p_run)
     caching(p_run)
+    profiling(p_run)
     p_run.add_argument("--scenario", default="st+at", choices=sorted(SCENARIOS))
     p_run.add_argument("--repeat", type=int, default=0, help="hardware seed index")
     p_run.add_argument("--out", default=None, help="write result JSON here")
@@ -211,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="run T+T / ST+T / ST+AT")
     common(p_cmp)
     caching(p_cmp)
+    profiling(p_cmp)
     p_cmp.add_argument("--repeats", type=int, default=1)
     p_cmp.add_argument(
         "--workers",
@@ -228,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_camp)
     caching(p_camp)
+    profiling(p_camp)
     p_camp.add_argument("--scenario", default="st+at", choices=sorted(SCENARIOS))
     p_camp.add_argument(
         "--kinds",

@@ -12,6 +12,9 @@
 * :class:`ParallelExecutor` / :class:`ResultCache` — the process-parallel
   execution engine with deterministic seeding and on-disk caching that
   scenario comparisons, repeats and sweeps fan out through.
+* :class:`NodalSolver` / :class:`FactorizationCache` / :data:`PROFILER`
+  — the hot-path kernel layer (cached sparse factorization, batched
+  nodal solves) and its perf counters (DESIGN.md §9).
 """
 
 from repro.core.executor import (
@@ -23,7 +26,14 @@ from repro.core.executor import (
     fingerprint,
 )
 from repro.core.framework import AgingAwareFramework, FrameworkConfig
+from repro.core.kernels import (
+    FactorizationCache,
+    NodalSolver,
+    cache_enabled,
+    set_cache_enabled,
+)
 from repro.core.lifetime import LifetimeConfig, LifetimeSimulator
+from repro.core.profiling import PROFILER, PerfDelta, PerfRegistry
 from repro.core.presets import PRESETS, ExperimentPreset, lenet_glyphs, vggnet_shapes
 from repro.core.results import LifetimeResult, ScenarioComparison, WindowRecord
 from repro.core.scenarios import SCENARIOS, Scenario
@@ -32,12 +42,17 @@ from repro.core.sweep import Sweep, SweepPoint, SweepResult
 __all__ = [
     "AgingAwareFramework",
     "ExperimentPreset",
+    "FactorizationCache",
     "FrameworkConfig",
     "LifetimeConfig",
     "LifetimeResult",
     "LifetimeSimulator",
+    "NodalSolver",
     "PRESETS",
+    "PROFILER",
     "ParallelExecutor",
+    "PerfDelta",
+    "PerfRegistry",
     "ResultCache",
     "RetryPolicy",
     "SCENARIOS",
@@ -49,7 +64,9 @@ __all__ = [
     "Task",
     "TaskOutcome",
     "WindowRecord",
+    "cache_enabled",
     "fingerprint",
     "lenet_glyphs",
+    "set_cache_enabled",
     "vggnet_shapes",
 ]

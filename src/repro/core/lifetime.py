@@ -19,11 +19,12 @@ x-axis position of the iteration-count knee.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
 
+from repro.core.profiling import PROFILER
 from repro.core.results import LifetimeResult, WindowRecord
 from repro.exceptions import ConfigurationError
 from repro.mapping.aging_aware import AgingAwareMapper
@@ -57,10 +58,11 @@ class LifetimeConfig:
     apps_per_window: int = 10_000
     drift_magnitude: float = 0.06
     max_windows: int = 200
-    tuning: TuningConfig = None  # type: ignore[assignment]
+    tuning: TuningConfig = field(default_factory=TuningConfig)
 
     def __post_init__(self) -> None:
         if self.tuning is None:
+            # Tolerated for callers that explicitly pass tuning=None.
             self.tuning = TuningConfig()
         if self.apps_per_window < 1:
             raise ConfigurationError(
@@ -140,6 +142,11 @@ class LifetimeSimulator:
 
     def run(self, scenario_key: str = "custom") -> LifetimeResult:
         """Simulate windows until tuning fails or the horizon is reached."""
+        PROFILER.increment("lifetime.runs")
+        with PROFILER.timer("lifetime.run"):
+            return self._run_impl(scenario_key)
+
+    def _run_impl(self, scenario_key: str) -> LifetimeResult:
         cfg = self.config
         result = LifetimeResult(
             scenario_key=scenario_key,
@@ -176,6 +183,7 @@ class LifetimeSimulator:
                 aged_upper_by_layer=self.network.aging_by_layer(),
             )
             result.windows.append(record)
+            PROFILER.increment("lifetime.windows")
 
             if not tuning.converged:
                 # The maintenance cycle failed: the applications of this

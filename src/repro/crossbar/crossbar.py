@@ -6,6 +6,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.kernels import FactorizationCache, NodalSolver, cache_enabled
+from repro.core.profiling import PROFILER
 from repro.device.config import DeviceConfig
 from repro.exceptions import ConfigurationError, ShapeError
 from repro.rng import SeedLike, ensure_rng
@@ -26,6 +28,17 @@ class Crossbar:
     resistance and ignores further programming (the array keeps
     operating with whatever value is stuck there — matching how a real
     array fails gradually rather than atomically).
+
+    **State versioning (DESIGN.md §9).**  Every mutation of the
+    programmed state — ``program``, ``step_levels``,
+    ``step_conductance``, ``apply_drift``, fault injection, or any
+    direct assignment to :attr:`resistance` — bumps the monotonically
+    increasing :attr:`state_version`.  The version keys two caches that
+    make simulated *reads* cheap relative to simulated *programming*:
+    the noise-free conductance matrix (:meth:`conductances`) and the
+    exact IR-drop factorization (:meth:`nodal_solver`).  Reads never
+    bump the version; fault-free reads also never draw RNG, so caching
+    cannot perturb any random stream.
     """
 
     def __init__(
@@ -47,6 +60,12 @@ class Crossbar:
         self.grid = self.config.make_level_grid()
         self.aging = self.config.make_aging_model()
         self._rng = ensure_rng(seed)
+
+        #: Monotonic counter of programmed-state mutations; keys the
+        #: conductance and factorization caches (DESIGN.md §9).
+        self._state_version = 0
+        self._conductance_cache: Optional[Tuple[int, np.ndarray]] = None
+        self._solver_cache = FactorizationCache()
 
         shape = (self.rows, self.cols)
         if self.config.variability is not None:
@@ -70,6 +89,40 @@ class Crossbar:
         #: fire (driver fault: no state change, no stress).
         self.read_noise_extra = 0.0
         self.pulse_miss_rate = 0.0
+
+    # -- state versioning --------------------------------------------------
+    @property
+    def resistance(self) -> np.ndarray:
+        """Programmed resistance matrix.
+
+        Assigning to this attribute (as every programming routine and
+        fault hook does) bumps :attr:`state_version`.  Callers that
+        mutate the array in place must call :meth:`mark_state_dirty`
+        themselves — in-repo writers always assign.
+        """
+        return self._resistance
+
+    @resistance.setter
+    def resistance(self, value: np.ndarray) -> None:
+        self._resistance = value
+        self.mark_state_dirty()
+
+    @property
+    def state_version(self) -> int:
+        """Monotonic count of programmed-state mutations."""
+        return self._state_version
+
+    def mark_state_dirty(self) -> None:
+        """Invalidate cached read-path state after an out-of-band mutation.
+
+        Bumps :attr:`state_version` and drops the cached conductance
+        matrix and nodal factorizations.  Called automatically by the
+        :attr:`resistance` setter; call it directly after mutating
+        ``stress_time`` or ``resistance`` in place.
+        """
+        self._state_version += 1
+        self._conductance_cache = None
+        self._solver_cache.invalidate()
 
     # -- aging state ------------------------------------------------------
     @property
@@ -269,8 +322,52 @@ class Crossbar:
         return np.maximum(noisy, 1e-3)
 
     def conductances(self) -> np.ndarray:
-        """Programmed conductance matrix ``G`` (noise-free)."""
-        return 1.0 / self.resistance
+        """Programmed conductance matrix ``G`` (noise-free).
+
+        Cached per :attr:`state_version`; the returned array is
+        read-only so the cache cannot be corrupted through an alias.
+        Deterministic (no RNG draw), so caching is invisible to every
+        random stream.
+        """
+        cached = self._conductance_cache
+        if (
+            cache_enabled()
+            and cached is not None
+            and cached[0] == self._state_version
+        ):
+            PROFILER.increment("crossbar.conductance_cache_hits")
+            return cached[1]
+        g = 1.0 / self._resistance
+        g.setflags(write=False)
+        if cache_enabled():
+            PROFILER.increment("crossbar.conductance_cache_misses")
+            self._conductance_cache = (self._state_version, g)
+        return g
+
+    def read_conductances(self) -> np.ndarray:
+        """Conductance matrix as seen by a read (noise included).
+
+        Noise-free reads hit the :meth:`conductances` cache; noisy
+        reads must sample fresh resistances every call (each read draws
+        its own noise) and are never cached.
+        """
+        if self.config.read_noise + self.read_noise_extra <= 0:
+            return self.conductances()
+        return 1.0 / self.read_resistances()
+
+    def nodal_solver(self, model: "ParasiticModel") -> NodalSolver:
+        """Exact IR-drop solver for the current state, cached per version.
+
+        ``model`` is a :class:`repro.crossbar.parasitics.ParasiticModel`
+        (typed loosely to keep this module import-light).  Repeated
+        calls between reprogramming events return the same factorized
+        solver; any state mutation rebuilds on next use.
+        """
+        return self._solver_cache.get(
+            self._state_version,
+            model.r_wire,
+            lambda: NodalSolver(self.conductances(), model.r_wire),
+        )
 
     def vmm(self, v_in: np.ndarray) -> np.ndarray:
         """Analog vector-matrix multiply ``V_O = V_I · G · R_tia``.
@@ -283,8 +380,32 @@ class Crossbar:
             raise ShapeError(
                 f"input width {v_in.shape[-1]} != crossbar rows {self.rows}"
             )
-        g = 1.0 / self.read_resistances()
+        PROFILER.increment("crossbar.vmm_calls")
+        g = self.read_conductances()
         return v_in @ g * self.r_tia
+
+    def vmm_ir_drop(
+        self,
+        v_in: np.ndarray,
+        model: "ParasiticModel",
+        exact: bool = False,
+    ) -> np.ndarray:
+        """VMM with wire parasitics (noise-free read path).
+
+        The exact path reuses this array's cached factorization
+        (:meth:`nodal_solver`), so a batch of reads between
+        reprogramming events costs one dense product.  Output includes
+        the TIA gain, matching :meth:`vmm` at ``r_wire = 0``.
+        """
+        from repro.crossbar.parasitics import vmm_with_ir_drop
+
+        PROFILER.increment("crossbar.vmm_calls")
+        g = self.conductances()
+        solver = self.nodal_solver(model) if exact else None
+        return (
+            vmm_with_ir_drop(g, v_in, model, exact=exact, solver=solver)
+            * self.r_tia
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

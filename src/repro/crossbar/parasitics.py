@@ -10,11 +10,18 @@ Two models are provided:
 
 * :func:`solve_crossbar_nodal` — exact DC solution of the full resistive
   network (2·R·C unknown node voltages) via sparse linear solve.  The
-  reference, O((RC)^1.5)-ish; use for arrays up to ~64x64.
+  reference; use for arrays up to ~256x256.
 * :func:`ir_drop_factors` — the standard first-order approximation: the
   voltage reaching cell (i, j) is attenuated by the accumulated wire
   resistance relative to the cell's path resistance.  O(RC), usable
   in-loop.
+
+The exact path is built on the kernel layer
+(:class:`repro.core.kernels.NodalSolver`): the nodal matrix depends
+only on the conductance state, so it is assembled and factorized once
+and a whole batch of input vectors is answered by one dense transfer
+product — batched, serial, and cached evaluations are bit-identical by
+construction (see DESIGN.md §9).
 
 The :class:`ParasiticModel` wraps a wire resistance per segment and
 offers a drop-in replacement for the ideal VMM, so experiments can
@@ -25,11 +32,12 @@ quantify how much accuracy IR drop costs at a given array size (see
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import spsolve
 
+from repro.core.kernels import NodalSolver, assemble_nodal_matrix
 from repro.exceptions import ConfigurationError, ShapeError
 
 
@@ -55,46 +63,19 @@ def _node_index(i: int, j: int, cols: int, plane: int, rows: int) -> int:
 
 def _assemble_nodal_system(
     g: np.ndarray, v_in: np.ndarray, g_wire: float
-) -> tuple[sparse.csr_matrix, np.ndarray]:
-    """Vectorized assembly of the nodal system ``A x = rhs``.
+) -> tuple[sparse.csc_matrix, np.ndarray]:
+    """Assemble the nodal system ``A x = rhs`` for one input vector.
 
-    All stamp coordinates are built as whole index grids and fed to one
-    COO constructor (duplicate entries sum on conversion), replacing the
-    O(rows·cols) Python loop — assembly used to dominate the solve for
-    mid-size arrays.
+    The matrix comes from the vectorized kernel-layer assembly
+    (:func:`repro.core.kernels.assemble_nodal_matrix` — the matrix
+    depends only on ``g`` and ``g_wire``); only the RHS depends on
+    ``v_in``.  Kept as the single-vector reference that the regression
+    tests pin against the per-cell loop assembly below.
     """
     rows, cols = g.shape
-    n = 2 * rows * cols
-    w_idx = np.arange(rows)[:, None] * cols + np.arange(cols)[None, :]
-    b_idx = rows * cols + w_idx
-
-    # Conductance stamps between node pairs (a, b): four COO entries
-    # each — (a,a,+v), (b,b,+v), (a,b,-v), (b,a,-v).
-    pair_a = [w_idx.ravel()]                 # memristor bridges the planes
-    pair_b = [b_idx.ravel()]
-    pair_v = [g.ravel()]
-    if cols > 1:                             # wordline chain towards j = 0
-        pair_a.append(w_idx[:, 1:].ravel())
-        pair_b.append(w_idx[:, :-1].ravel())
-        pair_v.append(np.full((cols - 1) * rows, g_wire))
-    if rows > 1:                             # bitline chain towards i = rows-1
-        pair_a.append(b_idx[:-1, :].ravel())
-        pair_b.append(b_idx[1:, :].ravel())
-        pair_v.append(np.full((rows - 1) * cols, g_wire))
-    a = np.concatenate(pair_a)
-    b = np.concatenate(pair_b)
-    v = np.concatenate(pair_v)
-
-    # Source stamps: wordline drivers at j = 0, TIA virtual grounds at
-    # i = rows-1 — diagonal-only entries plus the RHS injection.
-    src = np.concatenate([w_idx[:, 0], b_idx[-1, :]])
-    rhs = np.zeros(n)
-    rhs[w_idx[:, 0]] = g_wire * v_in
-
-    coo_rows = np.concatenate([a, b, a, b, src])
-    coo_cols = np.concatenate([a, b, b, a, src])
-    coo_vals = np.concatenate([v, v, -v, -v, np.full(src.size, g_wire)])
-    matrix = sparse.coo_matrix((coo_vals, (coo_rows, coo_cols)), shape=(n, n)).tocsr()
+    matrix = assemble_nodal_matrix(g, g_wire)
+    rhs = np.zeros(2 * rows * cols)
+    rhs[np.arange(rows) * cols] = g_wire * v_in
     return matrix, rhs
 
 
@@ -157,19 +138,11 @@ def solve_crossbar_nodal(
     g = np.asarray(conductances, dtype=np.float64)
     if g.ndim != 2:
         raise ShapeError(f"conductances must be 2-D, got shape {g.shape}")
-    rows, cols = g.shape
+    rows, _cols = g.shape
     v_in = np.asarray(v_in, dtype=np.float64)
     if v_in.shape != (rows,):
         raise ShapeError(f"v_in must have shape ({rows},), got {v_in.shape}")
-    if model.r_wire == 0.0:
-        return v_in @ g
-
-    g_wire = 1.0 / model.r_wire
-    matrix, rhs = _assemble_nodal_system(g, v_in, g_wire)
-    solution = spsolve(matrix, rhs)
-    bottom = solution[rows * cols + (rows - 1) * cols + np.arange(cols)]
-    # Current into each TIA = (V_bottom_node - 0) * g_wire.
-    return bottom * g_wire
+    return NodalSolver(g, model.r_wire).solve(v_in)
 
 
 def ir_drop_factors(
@@ -206,18 +179,29 @@ def vmm_with_ir_drop(
     v_in: np.ndarray,
     model: ParasiticModel,
     exact: bool = False,
+    solver: Optional[NodalSolver] = None,
 ) -> np.ndarray:
-    """VMM including IR drop (batched for the approximate model).
+    """VMM including IR drop (batched on both models).
 
-    ``exact=True`` runs the nodal solver per input vector — accurate but
-    slow; the default applies :func:`ir_drop_factors` once.
+    ``exact=True`` runs the full nodal solution: the system is
+    assembled and factorized **once** and the whole batch is answered
+    as one multi-RHS transfer product — no per-vector Python loop.
+    The default applies :func:`ir_drop_factors` once.
+
+    ``solver`` may carry a prebuilt :class:`NodalSolver` for the same
+    conductance state (e.g. from a crossbar's factorization cache) so
+    repeated exact reads skip the rebuild; it must have been built
+    from ``conductances`` and ``model.r_wire``.
     """
     g = np.asarray(conductances, dtype=np.float64)
-    v = np.atleast_2d(np.asarray(v_in, dtype=np.float64))
+    v_arr = np.asarray(v_in, dtype=np.float64)
+    v = np.atleast_2d(v_arr)
     if v.shape[-1] != g.shape[0]:
         raise ShapeError(f"input width {v.shape[-1]} != rows {g.shape[0]}")
     if exact:
-        out = np.stack([solve_crossbar_nodal(g, row, model) for row in v])
+        if solver is None:
+            solver = NodalSolver(g, model.r_wire)
+        out = solver.solve(v)
     else:
         out = v @ (g * ir_drop_factors(g, model))
-    return out[0] if np.asarray(v_in).ndim == 1 else out
+    return out[0] if v_arr.ndim == 1 else out

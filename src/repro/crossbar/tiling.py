@@ -82,8 +82,33 @@ class TiledMatrix:
         return out
 
     def conductances(self) -> np.ndarray:
-        """Logical conductance matrix."""
-        return 1.0 / self.resistances()
+        """Logical conductance matrix (noise-free).
+
+        Assembled from the per-tile :meth:`Crossbar.conductances`
+        caches — bitwise identical to ``1.0 / self.resistances()``
+        (elementwise reciprocal commutes with tiling) but free between
+        reprogramming events.
+        """
+        out = np.empty(self.shape)
+        for rs, cs, tile in self.iter_tiles():
+            out[rs, cs] = tile.conductances()
+        return out
+
+    def read_conductances(self) -> np.ndarray:
+        """Logical conductance matrix as seen by a read (noise per tile)."""
+        out = np.empty(self.shape)
+        for rs, cs, tile in self.iter_tiles():
+            out[rs, cs] = tile.read_conductances()
+        return out
+
+    @property
+    def state_version(self) -> int:
+        """Aggregate state version: sum of the tile versions.
+
+        Any tile mutation strictly increases the sum, so equality of
+        two aggregate versions implies no tile changed in between.
+        """
+        return sum(tile.state_version for _rs, _cs, tile in self.iter_tiles())
 
     def read_resistances(self) -> np.ndarray:
         """Logical resistance read-out (read noise per tile)."""
@@ -159,6 +184,24 @@ class TiledMatrix:
         out = np.zeros(out_shape)
         for rs, cs, tile in self.iter_tiles():
             out[..., cs] += tile.vmm(v_in[..., rs])
+        return out
+
+    def vmm_ir_drop(
+        self, v_in: np.ndarray, model: "ParasiticModel", exact: bool = False
+    ) -> np.ndarray:
+        """Parasitic-aware VMM with digital summation of tile partials.
+
+        Each tile solves its own (bounded-size) IR-drop problem through
+        its cached factorization; partial currents sum digitally, as in
+        :meth:`vmm`.
+        """
+        v_in = np.asarray(v_in, dtype=np.float64)
+        if v_in.shape[-1] != self.rows:
+            raise ShapeError(f"input width {v_in.shape[-1]} != logical rows {self.rows}")
+        out_shape = v_in.shape[:-1] + (self.cols,)
+        out = np.zeros(out_shape)
+        for rs, cs, tile in self.iter_tiles():
+            out[..., cs] += tile.vmm_ir_drop(v_in[..., rs], model, exact=exact)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

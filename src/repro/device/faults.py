@@ -90,6 +90,10 @@ def inject_faults(
     crossbar.stress_time = np.where(
         any_fault, 2.0 * collapse_time, crossbar.stress_time
     )
+    # The resistance assignments above already bumped the state version;
+    # mark again so the stress-time pinning (which changes aged windows,
+    # hence future quantization) is its own visible state transition.
+    crossbar.mark_state_dirty()
     return stuck_lrs, stuck_hrs
 
 

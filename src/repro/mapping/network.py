@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.profiling import PROFILER
 from repro.crossbar.tiling import TiledMatrix
 from repro.crossbar.tracer import BlockTracer
 from repro.device.config import DeviceConfig
@@ -196,18 +197,26 @@ class MappedLayer:
         When the owning network models wire parasitics, the read
         conductances are first attenuated by the first-order IR-drop
         factors — far-corner devices deliver less of their signal.
+
+        Reads go through the tiles' state-versioned conductance caches
+        (DESIGN.md §9): noise-free reads between reprogramming events
+        reuse the cached per-tile matrices instead of re-inverting the
+        resistance state.
         """
         if self.mapping is None:
             raise ConfigurationError("layer has never been programmed")
-        physical = self.tiles.read_resistances()
+        PROFILER.increment("network.hardware_reads")
+        g = self.tiles.read_conductances()
         if self.parasitics is not None:
             from repro.crossbar.parasitics import ir_drop_factors
 
-            g = 1.0 / physical
             g = g * ir_drop_factors(g, self.parasitics)
             physical = 1.0 / np.maximum(g, 1e-12)
+            return np.asarray(
+                self.mapping.resistance_to_weight(self._to_logical(physical))
+            )
         return np.asarray(
-            self.mapping.resistance_to_weight(self._to_logical(physical))
+            self.mapping.conductance_to_weight(self._to_logical(g))
         )
 
     def hardware_kernel(self) -> np.ndarray:

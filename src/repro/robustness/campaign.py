@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.executor import ParallelExecutor, ResultCache, Task
 from repro.core.framework import AgingAwareFramework
+from repro.core.profiling import PROFILER
 from repro.core.results import LifetimeResult
 from repro.exceptions import ConfigurationError
 from repro.robustness.degradation import DegradationPolicy
@@ -123,17 +124,25 @@ class FaultCampaign:
         names = [p.name for p in points]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate campaign point names in {names}")
+        point_perf = {}
         if self.workers <= 1:
-            results = [
-                self.framework.run_scenario(
-                    self.scenario,
-                    repeat=self.repeat,
-                    cache=self.cache,
-                    fault_schedule=p.schedule,
-                    degradation=p.degradation,
-                )
-                for p in points
-            ]
+            # Serial mode: capture per-point perf-counter deltas so the
+            # report can attribute kernel-cache savings and vmm
+            # throughput to individual grid points.  (Counters are
+            # process-local; the parallel branch leaves perf empty.)
+            results = []
+            for p in points:
+                with PROFILER.capture() as delta:
+                    results.append(
+                        self.framework.run_scenario(
+                            self.scenario,
+                            repeat=self.repeat,
+                            cache=self.cache,
+                            fault_schedule=p.schedule,
+                            degradation=p.degradation,
+                        )
+                    )
+                point_perf[p.name] = delta.to_dict()
         else:
             self.framework.trained_model(self.scenario.skewed_training)
             tasks = [
@@ -159,6 +168,7 @@ class FaultCampaign:
         report = SurvivabilityReport(
             workload=self.framework.dataset.name,
             scenario_key=self.scenario.key,
+            perf=point_perf,
         )
         for point, result in zip(points, results):
             report.add(_record_from_result(point, result))

@@ -63,6 +63,13 @@ class SurvivabilityReport:
     workload: str
     scenario_key: str
     records: List[SurvivabilityRecord] = field(default_factory=list)
+    #: Per-point perf-counter deltas (``repro.core.profiling.PerfDelta``
+    #: dicts) captured around each simulation.  Only populated by serial
+    #: campaign runs — counters are process-local and do not cross the
+    #: executor's worker pool.  Excluded from :meth:`to_dict` by default
+    #: so serialized reports stay bit-identical across serial/parallel
+    #: execution modes.
+    perf: Dict[str, dict] = field(default_factory=dict)
 
     def add(self, record: SurvivabilityRecord) -> None:
         self.records.append(record)
@@ -130,12 +137,21 @@ class SurvivabilityReport:
         ]
 
     # -- serialization -----------------------------------------------------
-    def to_dict(self) -> dict:
-        return {
+    def to_dict(self, include_perf: bool = False) -> dict:
+        """JSON-ready dict; ``include_perf`` adds the per-point counters.
+
+        Perf is opt-in because it is populated only in serial mode and
+        carries wall-clock noise — the default output is identical
+        regardless of execution mode or machine speed.
+        """
+        out = {
             "workload": self.workload,
             "scenario_key": self.scenario_key,
             "records": [r.to_dict() for r in self.records],
         }
+        if include_perf:
+            out["perf"] = {name: dict(delta) for name, delta in self.perf.items()}
+        return out
 
     @classmethod
     def from_dict(cls, d: dict) -> "SurvivabilityReport":
@@ -143,6 +159,7 @@ class SurvivabilityReport:
             workload=str(d["workload"]),
             scenario_key=str(d["scenario_key"]),
             records=[SurvivabilityRecord.from_dict(r) for r in d.get("records", [])],
+            perf={str(k): dict(v) for k, v in d.get("perf", {}).items()},
         )
 
     # -- rendering ---------------------------------------------------------
@@ -191,4 +208,24 @@ class SurvivabilityReport:
                             f"  {kind} ({label}): worst lifetime ratio "
                             f"{worst:.2f}x over {len(curve)} rate(s)"
                         )
+        if self.perf:
+            lines.append("")
+            lines.append("perf (serial run):")
+            for name, delta in self.perf.items():
+                counters = delta.get("counters", {})
+                elapsed = float(delta.get("elapsed_s", 0.0))
+                avoided = int(
+                    counters.get("kernels.cache_hits", 0)
+                    + counters.get("crossbar.conductance_cache_hits", 0)
+                )
+                vmm = counters.get("crossbar.vmm_calls", 0)
+                reads = counters.get("network.hardware_reads", 0)
+                throughput = (
+                    f"{vmm / elapsed:,.0f} vmm/s" if elapsed > 0 and vmm else "n/a"
+                )
+                lines.append(
+                    f"  {name}: factorizations avoided={avoided}, "
+                    f"vmm calls={int(vmm)}, hardware reads={int(reads)}, "
+                    f"throughput={throughput}, elapsed={elapsed:.2f}s"
+                )
         return "\n".join(lines)

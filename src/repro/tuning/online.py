@@ -27,6 +27,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.profiling import PROFILER
 from repro.exceptions import ConfigurationError
 from repro.mapping.network import MappedNetwork
 from repro.rng import SeedLike, ensure_rng
@@ -146,7 +147,24 @@ class OnlineTuner:
         Accuracy checks run on the full tuning set; gradient sweeps use
         random ``batch_size`` subsets.  Every sweep pulses the selected
         devices (aging them); evaluation itself applies no stress.
+
+        Batches flow through the mapped network's scratch-model forward
+        and backward passes and the crossbars' cached read paths as
+        whole arrays — no per-sample or per-row Python loop.
         """
+        PROFILER.increment("tuning.sessions")
+        with PROFILER.timer("tuning.session"):
+            result = self._tune_impl(network, x_tune, y_tune)
+        PROFILER.increment("tuning.iterations", result.iterations)
+        PROFILER.increment("tuning.pulses", result.pulses_applied)
+        return result
+
+    def _tune_impl(
+        self,
+        network: MappedNetwork,
+        x_tune: np.ndarray,
+        y_tune: np.ndarray,
+    ) -> TuningResult:
         cfg = self.config
         x_tune = np.asarray(x_tune, dtype=np.float64)
         y_tune = np.asarray(y_tune, dtype=np.float64)

@@ -31,6 +31,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--scenario", "nope"])
 
+    def test_profile_flag_variants(self):
+        assert build_parser().parse_args(["run"]).profile is None
+        assert build_parser().parse_args(["run", "--profile"]).profile == "-"
+        args = build_parser().parse_args(["run", "--profile", "perf.json"])
+        assert args.profile == "perf.json"
+        assert build_parser().parse_args(["compare", "--profile"]).profile == "-"
+        assert build_parser().parse_args(["campaign", "--profile"]).profile == "-"
+
 
 class TestCommands:
     def test_list_presets(self, capsys):
@@ -93,6 +101,28 @@ class TestCommands:
         payload = json.loads(out_file.read_text())
         assert payload["scenario_key"] == "t+t"
         assert "lifetime" in capsys.readouterr().out
+
+    def test_run_profile_to_stdout_and_file(self, tmp_path, capsys):
+        argv = [
+            "run",
+            "--preset",
+            "lenet-glyphs",
+            "--fast",
+            "--no-cache",
+            "--scenario",
+            "t+t",
+            "--profile",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "perf counters" in out
+        assert "network.hardware_reads" in out
+
+        perf_file = tmp_path / "perf.json"
+        assert main(argv + [str(perf_file)]) == 0
+        snapshot = json.loads(perf_file.read_text())
+        assert snapshot["counters"]["lifetime.runs"] >= 1
+        assert "timers" in snapshot
 
     def test_run_populates_and_reuses_cache(self, tmp_path, capsys):
         cache_dir = tmp_path / "cache"

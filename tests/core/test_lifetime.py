@@ -21,6 +21,20 @@ class TestConfig:
     def test_default_tuning_created(self):
         assert LifetimeConfig().tuning.max_iterations == 150
 
+    def test_default_configs_share_no_mutable_state(self):
+        """Regression (ISSUE 4): the tuning default must come from a
+        ``default_factory``, not a shared sentinel — mutating one
+        config's TuningConfig must never leak into another."""
+        a = LifetimeConfig()
+        b = LifetimeConfig()
+        assert a.tuning is not b.tuning
+        a.tuning.max_iterations = 7
+        assert b.tuning.max_iterations == 150
+
+    def test_explicit_none_tuning_still_tolerated(self):
+        cfg = LifetimeConfig(tuning=None)
+        assert cfg.tuning.max_iterations == 150
+
 
 class TestSimulator:
     @pytest.fixture()

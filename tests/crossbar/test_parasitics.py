@@ -2,7 +2,10 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.core.kernels import NodalSolver
 from repro.crossbar.parasitics import (
     ParasiticModel,
     _assemble_nodal_system,
@@ -128,6 +131,79 @@ class TestApproximation:
         approx = vmm_with_ir_drop(g, v, model)
         rel = np.abs(approx - exact) / np.abs(exact)
         assert rel.max() < 0.05
+
+
+class TestApproximationConvergence:
+    """Property: the first-order model converges to the exact nodal
+    solution as the wire resistance vanishes (satellite of ISSUE 4)."""
+
+    @given(seed=st.integers(0, 200), rows=st.integers(2, 7), cols=st.integers(2, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_converges_to_exact_as_r_wire_vanishes(self, seed, rows, cols):
+        gen = np.random.default_rng(seed)
+        g = gen.uniform(1e-5, 1e-4, size=(rows, cols))
+        v = gen.uniform(0.1, 1.0, rows)
+        previous = None
+        for r_wire in (1.0, 0.1, 0.01, 0.001):
+            model = ParasiticModel(r_wire)
+            exact = solve_crossbar_nodal(g, v, model)
+            approx = vmm_with_ir_drop(g, v, model)
+            err = float(np.max(np.abs(approx - exact) / np.abs(exact)))
+            if previous is not None:
+                assert err <= previous + 1e-12
+            previous = err
+        # At r_wire = 1 mΩ per segment both models are within 0.01 %.
+        assert previous < 1e-4
+
+    def test_exact_at_zero_wire_resistance(self, small_g, rng):
+        v = rng.uniform(0.1, 1.0, 6)
+        model = ParasiticModel(0.0)
+        np.testing.assert_array_equal(
+            vmm_with_ir_drop(small_g, v, model),
+            solve_crossbar_nodal(small_g, v, model),
+        )
+
+
+class TestBatchedEquivalence:
+    """Batched multi-RHS solves must match the per-vector reference —
+    bit for bit, not just to tolerance (the einsum transfer product is
+    row-stable; see repro.core.kernels)."""
+
+    @given(seed=st.integers(0, 100), batch=st.integers(1, 9))
+    @settings(max_examples=25, deadline=None)
+    def test_batched_matches_per_vector_bitwise(self, seed, batch):
+        gen = np.random.default_rng(seed)
+        g = gen.uniform(1e-5, 1e-4, size=(6, 5))
+        v_batch = gen.uniform(0.0, 1.0, size=(batch, 6))
+        model = ParasiticModel(12.0)
+        batched = vmm_with_ir_drop(g, v_batch, model, exact=True)
+        solver = NodalSolver(g, model.r_wire)
+        for k in range(batch):
+            reference = solve_crossbar_nodal(g, v_batch[k], model)
+            np.testing.assert_array_equal(batched[k], reference)
+            np.testing.assert_array_equal(solver.solve(v_batch[k]), reference)
+
+    def test_sub_batches_are_bitwise_stable(self, small_g, rng):
+        """Splitting a batch must not change any output bit."""
+        v_batch = rng.uniform(0.0, 1.0, size=(8, 6))
+        model = ParasiticModel(7.0)
+        whole = vmm_with_ir_drop(small_g, v_batch, model, exact=True)
+        halves = np.vstack(
+            [
+                vmm_with_ir_drop(small_g, v_batch[:3], model, exact=True),
+                vmm_with_ir_drop(small_g, v_batch[3:], model, exact=True),
+            ]
+        )
+        np.testing.assert_array_equal(whole, halves)
+
+    def test_prebuilt_solver_reuse_is_bitwise_identical(self, small_g, rng):
+        v_batch = rng.uniform(0.0, 1.0, size=(4, 6))
+        model = ParasiticModel(9.0)
+        solver = NodalSolver(small_g, model.r_wire)
+        np.testing.assert_array_equal(
+            vmm_with_ir_drop(small_g, v_batch, model, exact=True, solver=solver),
+            vmm_with_ir_drop(small_g, v_batch, model, exact=True),
+        )
 
 
 class TestVmmWrapper:

@@ -149,6 +149,27 @@ class TestGoldenComparison:
             atol=1e-9,
         )
 
+    def test_table1_miniature_kernel_caches_disabled(self, request):
+        """The kernel-layer caches (ISSUE 4) must be invisible: with
+        state-version caching globally disabled, the run must still hit
+        the exact same snapshot as the default cached path."""
+        from repro.core import set_cache_enabled
+
+        prior = set_cache_enabled(False)
+        try:
+            comparison = _miniature_framework().compare()
+        finally:
+            set_cache_enabled(prior)
+        if request.config.getoption("--update-golden"):
+            pytest.skip("snapshot owned by test_table1_miniature")
+        _compare_golden(
+            request,
+            "compare_blobs",
+            _comparison_metrics(comparison),
+            rtol=1e-6,
+            atol=1e-9,
+        )
+
 
 # -- snapshot 2: the aged-window curves (pure math, Fig. 4 shape) -------------
 class TestGoldenAgingCurves:

@@ -118,6 +118,34 @@ class TestFaultCampaign:
         text = report.render_text()
         assert "baseline" in text and "stuck_at" in text
 
+    def test_serial_run_captures_perf_per_point(self, mini_framework):
+        """Satellite of ISSUE 4: serial campaigns attribute kernel-cache
+        savings and vmm throughput to each grid point."""
+        points = build_grid(**self.GRID)
+        report = FaultCampaign(mini_framework, scenario="st+at").run(points)
+        assert set(report.perf) == {p.name for p in points}
+        for delta in report.perf.values():
+            assert delta["elapsed_s"] > 0
+            assert delta["counters"].get("crossbar.vmm_calls", 0) >= 0
+            assert delta["counters"].get("network.hardware_reads", 0) > 0
+        text = report.render_text()
+        assert "perf (serial run):" in text
+        assert "factorizations avoided" in text
+
+    def test_perf_excluded_from_default_serialization(self, mini_framework):
+        """Perf is serial-mode-only and wall-clock-noisy, so the default
+        to_dict must not carry it — keeping serialized reports identical
+        across execution modes."""
+        points = build_grid(**self.GRID)
+        report = FaultCampaign(mini_framework, scenario="st+at").run(points)
+        assert "perf" not in report.to_dict()
+        with_perf = report.to_dict(include_perf=True)
+        assert set(with_perf["perf"]) == {p.name for p in points}
+        clone = SurvivabilityReport.from_dict(
+            json.loads(json.dumps(with_perf))
+        )
+        assert clone.perf == with_perf["perf"]
+
 
 class TestCampaignCli:
     def test_help(self, capsys):

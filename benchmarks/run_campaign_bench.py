@@ -8,6 +8,8 @@ four ways —
 * parallel      (``workers=4``, no cache): grid fan-out over the pool;
 * cache cold    (``workers=4``, empty cache): fan-out + populate;
 * cache warm    (``workers=4``, same cache): pure hits;
+* journal redo  (``workers=4``, same journal): crash-safe relaunch —
+  every point replays from the append-only journal, zero re-executed;
 
 — verifies every mode produces an identical ``SurvivabilityReport``,
 and writes throughput (grid points per minute) to
@@ -41,6 +43,7 @@ from repro.core import (
     FrameworkConfig,
     LifetimeConfig,
     ResultCache,
+    RunJournal,
 )
 from repro.data import make_blobs
 from repro.device import DeviceConfig
@@ -102,7 +105,19 @@ def main() -> int:
         warm, t_warm = timed_run(points, workers=WORKERS, cache=cache)
         cache_stats = {"hits": cache.hits, "misses": cache.misses}
 
-    reports = [serial, parallel, cold, warm]
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_path = pathlib.Path(tmp) / "campaign.journal.jsonl"
+        jfirst, t_jcold = timed_run(
+            points, workers=WORKERS, journal=RunJournal(journal_path)
+        )
+        relaunch_journal = RunJournal(journal_path)
+        jredo, t_jredo = timed_run(points, workers=WORKERS, journal=relaunch_journal)
+        journal_stats = {
+            "relaunch_skipped": relaunch_journal.skipped,
+            "relaunch_reexecuted": len(points) - relaunch_journal.skipped,
+        }
+
+    reports = [serial, parallel, cold, warm, jfirst, jredo]
     identical = all(r.to_dict() == serial.to_dict() for r in reports[1:])
 
     def per_minute(seconds: float) -> float:
@@ -119,6 +134,8 @@ def main() -> int:
         "parallel_seconds": round(t_parallel, 3),
         "cache_cold_seconds": round(t_cold, 3),
         "cache_warm_seconds": round(t_warm, 3),
+        "journal_cold_seconds": round(t_jcold, 3),
+        "journal_relaunch_seconds": round(t_jredo, 3),
         "points_per_minute": {
             "serial": per_minute(t_serial),
             "parallel": per_minute(t_parallel),
@@ -128,6 +145,7 @@ def main() -> int:
         "speedup_warm_vs_serial": round(t_serial / t_warm, 2),
         "reports_identical_across_modes": identical,
         "cache": cache_stats,
+        "journal": journal_stats,
         "lifetimes": {
             r.point: r.lifetime_applications for r in serial.records
         },
@@ -137,6 +155,9 @@ def main() -> int:
     print(json.dumps(payload, indent=2))
     if not identical:
         print("ERROR: modes disagree", file=sys.stderr)
+        return 1
+    if journal_stats["relaunch_reexecuted"]:
+        print("ERROR: journal relaunch re-executed points", file=sys.stderr)
         return 1
     return 0
 

@@ -4,10 +4,16 @@ Exposes the main reproduction flows without writing Python::
 
     python -m repro list-presets
     python -m repro run --preset lenet-glyphs --scenario st+at --fast
+    python -m repro run --fast --checkpoint-every 5 --checkpoint-dir ckpts
+    python -m repro run --resume ckpts/st+at-r0-w00005.ckpt.json
     python -m repro compare --preset lenet-glyphs --fast --out results.json
+    python -m repro campaign --fast --journal campaign.jsonl --resume
+    python -m repro checkpoints ls --dir ckpts
     python -m repro train --preset lenet-glyphs --skewed --weights model.npz
 
-All subcommands are deterministic for a given ``--seed``.
+All subcommands are deterministic for a given ``--seed``; a killed
+``run`` resumed from its latest checkpoint is bit-identical to an
+uninterrupted one (DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -18,7 +24,13 @@ import time
 from typing import Optional, Sequence
 
 from repro.analysis import ascii_series, comparison_report, render_table
-from repro.core import AgingAwareFramework, ResultCache
+from repro.core import AgingAwareFramework, ResultCache, RunJournal
+from repro.core.checkpoint import (
+    CHECKPOINT_SUFFIX,
+    CheckpointManager,
+    inspect_checkpoint,
+)
+from repro.core.lifetime import LifetimeSimulator
 from repro.core.presets import PRESETS
 from repro.core.profiling import PROFILER
 from repro.core.scenarios import SCENARIOS
@@ -80,18 +92,45 @@ def cmd_train(args) -> int:
     return 0
 
 
+def _resume_run_id(path: str) -> str:
+    """Run id a snapshot file was saved under (``<run-id>-wNNNNN``)."""
+    import pathlib
+
+    name = pathlib.Path(path).name
+    if name.endswith(CHECKPOINT_SUFFIX):
+        name = name[: -len(CHECKPOINT_SUFFIX)]
+    run_id, sep, tail = name.rpartition("-w")
+    return run_id if sep and tail.isdigit() else name
+
+
 def cmd_run(args) -> int:
     if args.scenario not in SCENARIOS:
         print(f"unknown scenario {args.scenario!r}; choose from {sorted(SCENARIOS)}")
         return 2
-    framework = _build_framework(args)
     start = time.time()
-    result = framework.run_scenario(
-        args.scenario, repeat=args.repeat, cache=_make_cache(args)
-    )
+    if args.resume:
+        # The snapshot carries the whole mid-run simulator (model,
+        # configs, RNG streams); --preset/--scenario are not consulted.
+        simulator = LifetimeSimulator.resume(args.resume)
+        result = simulator.run(
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            run_id=_resume_run_id(args.resume),
+        )
+        scenario_label = result.scenario_key
+    else:
+        framework = _build_framework(args)
+        result = framework.run_scenario(
+            args.scenario,
+            repeat=args.repeat,
+            cache=_make_cache(args),
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        scenario_label = args.scenario
     elapsed = time.time() - start
     print(
-        f"{args.scenario.upper()}: lifetime={result.lifetime_applications} applications "
+        f"{scenario_label.upper()}: lifetime={result.lifetime_applications} applications "
         f"({len(result.windows)} windows, "
         f"{'failed' if result.failed else 'horizon reached'}) in {elapsed:.0f}s"
     )
@@ -152,6 +191,12 @@ def cmd_campaign(args) -> int:
         window=args.window,
         with_degradation=not args.no_degradation,
     )
+    if args.resume and not args.journal:
+        print("--resume requires --journal PATH (the journal to resume from)")
+        return 2
+    journal = (
+        RunJournal(args.journal, resume=args.resume) if args.journal else None
+    )
     framework = _build_framework(args)
     campaign = FaultCampaign(
         framework,
@@ -159,12 +204,18 @@ def cmd_campaign(args) -> int:
         repeat=args.repeat,
         workers=args.workers,
         cache=_make_cache(args),
+        journal=journal,
     )
     start = time.time()
     report = campaign.run(points)
     elapsed = time.time() - start
     print(report.render_text())
     print(f"\n{len(points)} grid points in {elapsed:.0f}s")
+    if journal is not None:
+        print(
+            f"journal {args.journal}: {journal.skipped} replayed, "
+            f"{len(points) - journal.skipped} executed"
+        )
     if args.out:
         import json
 
@@ -173,6 +224,48 @@ def cmd_campaign(args) -> int:
         print(f"report written to {args.out}")
     _emit_profile(args)
     return 0
+
+
+def cmd_checkpoints(args) -> int:
+    import json
+
+    if args.ckpt_command == "ls":
+        manager = CheckpointManager(args.dir)
+        entries = manager.entries()
+        if not entries:
+            print(f"no checkpoints under {args.dir}")
+            return 0
+        rows = [
+            [
+                e.run_id,
+                e.window,
+                f"{e.bytes / 1024:.1f}",
+                time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(e.modified_unix)),
+                str(e.path),
+            ]
+            for e in entries
+        ]
+        print(
+            render_table(
+                ["run", "window", "KiB", "modified", "path"],
+                rows,
+                title=f"checkpoints in {args.dir}",
+            )
+        )
+        latest = manager.latest(run_id=args.run_id)
+        if latest is not None:
+            print(f"\nlatest{f' for {args.run_id}' if args.run_id else ''}: {latest}")
+        return 0
+    if args.ckpt_command == "inspect":
+        print(json.dumps(inspect_checkpoint(args.path), indent=2))
+        return 0
+    if args.ckpt_command == "gc":
+        removed = CheckpointManager(args.dir).gc(keep=args.keep, run_id=args.run_id)
+        for path in removed:
+            print(f"removed {path}")
+        print(f"{len(removed)} snapshot(s) removed (keep={args.keep})")
+        return 0
+    raise AssertionError(f"unhandled checkpoints subcommand {args.ckpt_command!r}")
 
 
 def cmd_report(args) -> int:
@@ -239,6 +332,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--scenario", default="st+at", choices=sorted(SCENARIOS))
     p_run.add_argument("--repeat", type=int, default=0, help="hardware seed index")
     p_run.add_argument("--out", default=None, help="write result JSON here")
+    p_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write a durable snapshot after every N completed windows "
+        "(resumable with --resume; bit-identical to a plain run)",
+    )
+    p_run.add_argument(
+        "--checkpoint-dir",
+        default=".repro-checkpoints",
+        help="directory for --checkpoint-every snapshots; default: %(default)s",
+    )
+    p_run.add_argument(
+        "--resume",
+        default=None,
+        metavar="SNAPSHOT",
+        help="continue a killed run from this .ckpt.json snapshot "
+        "(--preset/--scenario are ignored: the snapshot carries them)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run T+T / ST+T / ST+AT")
@@ -295,7 +408,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the graceful-degradation half of the grid",
     )
     p_camp.add_argument("--out", default=None, help="write SurvivabilityReport JSON here")
+    p_camp.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append completed grid points durably to this JSONL journal "
+        "(crash-safe: combine with --resume to relaunch a killed campaign)",
+    )
+    p_camp.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip grid points already recorded in --journal "
+        "(without it, an existing journal is started over)",
+    )
     p_camp.set_defaults(func=cmd_campaign)
+
+    p_ckpt = sub.add_parser(
+        "checkpoints", help="list, inspect and garbage-collect run snapshots"
+    )
+    ckpt_sub = p_ckpt.add_subparsers(dest="ckpt_command", required=True)
+    p_ls = ckpt_sub.add_parser("ls", help="list snapshots in a directory")
+    p_ls.add_argument("--dir", default=".repro-checkpoints")
+    p_ls.add_argument("--run-id", default=None, help="restrict `latest` to one run")
+    p_ls.set_defaults(func=cmd_checkpoints)
+    p_ins = ckpt_sub.add_parser(
+        "inspect", help="verified summary of one snapshot (no unpickling)"
+    )
+    p_ins.add_argument("path", help="a .ckpt.json snapshot file")
+    p_ins.set_defaults(func=cmd_checkpoints)
+    p_gc = ckpt_sub.add_parser(
+        "gc", help="delete all but the newest snapshots per run"
+    )
+    p_gc.add_argument("--dir", default=".repro-checkpoints")
+    p_gc.add_argument(
+        "--keep", type=int, default=3, help="snapshots to keep per run; default: %(default)s"
+    )
+    p_gc.add_argument("--run-id", default=None, help="only collect this run's snapshots")
+    p_gc.set_defaults(func=cmd_checkpoints)
 
     p_rep = sub.add_parser("report", help="render a saved comparison as Markdown")
     p_rep.add_argument("comparison", help="comparison JSON from `compare --out`")

@@ -15,8 +15,19 @@
 * :class:`NodalSolver` / :class:`FactorizationCache` / :data:`PROFILER`
   — the hot-path kernel layer (cached sparse factorization, batched
   nodal solves) and its perf counters (DESIGN.md §9).
+* :class:`CheckpointManager` / :class:`RunJournal` — durable
+  checkpoint/resume for lifetime runs and crash-safe journaling of
+  campaign/sweep grids (DESIGN.md §10).
 """
 
+from repro.core.checkpoint import (
+    CheckpointInfo,
+    CheckpointManager,
+    RunJournal,
+    inspect_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.core.executor import (
     ParallelExecutor,
     ResultCache,
@@ -41,6 +52,8 @@ from repro.core.sweep import Sweep, SweepPoint, SweepResult
 
 __all__ = [
     "AgingAwareFramework",
+    "CheckpointInfo",
+    "CheckpointManager",
     "ExperimentPreset",
     "FactorizationCache",
     "FrameworkConfig",
@@ -55,6 +68,7 @@ __all__ = [
     "PerfRegistry",
     "ResultCache",
     "RetryPolicy",
+    "RunJournal",
     "SCENARIOS",
     "Scenario",
     "ScenarioComparison",
@@ -66,7 +80,10 @@ __all__ = [
     "WindowRecord",
     "cache_enabled",
     "fingerprint",
+    "inspect_checkpoint",
     "lenet_glyphs",
+    "load_checkpoint",
+    "save_checkpoint",
     "set_cache_enabled",
     "vggnet_shapes",
 ]

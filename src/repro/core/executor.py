@@ -50,11 +50,14 @@ import traceback
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field, fields, is_dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.checkpoint import RunJournal
 
 logger = logging.getLogger(__name__)
 
@@ -263,6 +266,10 @@ class Task:
     encode: Optional[Callable[[Any], Any]] = None
     decode: Optional[Callable[[Any], Any]] = None
     timeout: Optional[float] = None
+    #: Content-hash key under which a completed result is journaled
+    #: (crash-safe resume of campaign/sweep grids); falls back to
+    #: ``cache_key``.  ``None`` on both disables journaling for the task.
+    journal_key: Optional[str] = None
 
 
 @dataclass
@@ -274,6 +281,8 @@ class TaskOutcome:
     error: Optional[str] = None
     seconds: float = 0.0
     cached: bool = False
+    #: True when the value was replayed from a crash-safe run journal.
+    journaled: bool = False
     #: Execution attempts consumed (0 for cache hits).
     attempts: int = 0
 
@@ -319,6 +328,7 @@ class ParallelExecutor:
         retry: Optional[RetryPolicy] = None,
         task_timeout: Optional[float] = None,
         max_pool_rebuilds: int = 3,
+        journal: Optional["RunJournal"] = None,
     ) -> None:
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
@@ -335,6 +345,12 @@ class ParallelExecutor:
         self.retry = retry
         self.task_timeout = task_timeout
         self.max_pool_rebuilds = int(max_pool_rebuilds)
+        #: Optional :class:`repro.core.checkpoint.RunJournal`.  Tasks
+        #: whose journal key (``Task.journal_key`` or ``cache_key``) is
+        #: already journaled are replayed without executing; completed
+        #: tasks are appended durably as they finish, so a killed run
+        #: re-executes only the points that never completed.
+        self.journal = journal
 
     def run(self, tasks: Sequence[Task], reraise: bool = False) -> List[TaskOutcome]:
         """Execute all tasks; returns one outcome per task, in order.
@@ -357,8 +373,15 @@ class ParallelExecutor:
             if payload is not _MISS:
                 value = task.decode(payload) if task.decode else payload
                 outcomes[idx] = TaskOutcome(task.key, value=value, cached=True)
-            else:
-                pending.append(idx)
+                continue
+            journal_key = self._journal_key(task)
+            if journal_key is not None and journal_key in self.journal:
+                payload = self.journal.get(journal_key)
+                value = task.decode(payload) if task.decode else payload
+                self.journal.skipped += 1
+                outcomes[idx] = TaskOutcome(task.key, value=value, journaled=True)
+                continue
+            pending.append(idx)
 
         if pending:
             # workers > 1 always means worker processes — even for one
@@ -379,6 +402,24 @@ class ParallelExecutor:
     def _max_attempts(self) -> int:
         return (self.retry.max_retries if self.retry is not None else 0) + 1
 
+    def _journal_key(self, task: Task) -> Optional[str]:
+        if self.journal is None:
+            return None
+        return task.journal_key or task.cache_key
+
+    def _journal_record(self, task: Task, value: Any) -> None:
+        """Durably append a completed task the moment it succeeds.
+
+        Called per task (serial) or per retry round (parallel), not
+        after the whole batch — the crash-safety granularity the journal
+        exists for.
+        """
+        journal_key = self._journal_key(task)
+        if journal_key is None:
+            return
+        payload = task.encode(value) if task.encode else value
+        self.journal.record(journal_key, payload)
+
     def _run_serial(self, tasks, pending, outcomes, reraise) -> None:
         for idx in pending:
             task = tasks[idx]
@@ -392,6 +433,7 @@ class ParallelExecutor:
                         seconds=time.perf_counter() - start,
                         attempts=attempt,
                     )
+                    self._journal_record(task, value)
                     break
                 except Exception:
                     if attempt < self._max_attempts:
@@ -555,6 +597,7 @@ class ParallelExecutor:
                             seconds=time.perf_counter() - start,
                             attempts=attempts[idx],
                         )
+                        self._journal_record(tasks[idx], payload)
                     elif round_no < self._max_attempts:
                         logger.warning(
                             "task %r failed (attempt %d/%d); retrying",

@@ -160,6 +160,8 @@ class AgingAwareFramework:
         cache: Optional[ResultCache] = None,
         fault_schedule=None,
         degradation=None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir=None,
     ) -> LifetimeResult:
         """Run one scenario's full lifetime simulation.
 
@@ -175,6 +177,13 @@ class AgingAwareFramework:
         :class:`repro.robustness.DegradationPolicy`) switches the
         graceful-degradation levers of tuning and mapping.  Both fold
         into the cache key when present.
+
+        ``checkpoint_every``/``checkpoint_dir`` make the lifetime run
+        resumable (see :mod:`repro.core.checkpoint`): a durable snapshot
+        lands after every N windows under the run id
+        ``<scenario>-r<repeat>``; resume with
+        :meth:`LifetimeSimulator.resume`.  Snapshots never affect the
+        result, so cache keys are unchanged.
         """
         scenario = self._resolve_scenario(scenario)
         if repeat < 0:
@@ -222,8 +231,15 @@ class AgingAwareFramework:
             seed=derive_rng(self._entropy, f"tune-{scenario.key}-{repeat}"),
             fault_schedule=fault_schedule,
         )
-        result = simulator.run(scenario.key)
-        result.software_accuracy = self.software_accuracy(scenario.skewed_training)
+        # Stamped before the run (not patched on afterwards) so mid-run
+        # snapshots carry it and a resumed run reports it identically.
+        simulator.software_accuracy = self.software_accuracy(scenario.skewed_training)
+        result = simulator.run(
+            scenario.key,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            run_id=f"{scenario.key}-r{repeat}",
+        )
         if cache is not None:
             cache.put(key, result.to_dict())
         return result

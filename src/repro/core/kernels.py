@@ -39,7 +39,7 @@ uncached paths agree bit for bit.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 import numpy as np
 from scipy import sparse

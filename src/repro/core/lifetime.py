@@ -24,6 +24,12 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.checkpoint import (
+    CheckpointManager,
+    capture_simulator,
+    load_checkpoint,
+    restore_simulator,
+)
 from repro.core.profiling import PROFILER
 from repro.core.results import LifetimeResult, WindowRecord
 from repro.exceptions import ConfigurationError
@@ -131,6 +137,29 @@ class LifetimeSimulator:
             if fault_schedule is not None
             else None
         )
+        #: Software (pre-mapping) test accuracy of the model, stamped
+        #: into the :class:`LifetimeResult` at creation so snapshots
+        #: carry it and a resumed run reports it identically.  The
+        #: framework sets this before calling :meth:`run`.
+        self.software_accuracy: float = 0.0
+        #: Set by :meth:`resume`; consumed (and cleared) by the next
+        #: :meth:`run` call, which then continues the restored run.
+        self._resume_state: Optional[tuple] = None
+
+    @classmethod
+    def resume(cls, path) -> "LifetimeSimulator":
+        """Rebuild a mid-run simulator from a snapshot file.
+
+        The returned simulator carries the partial result and continues
+        from the checkpointed window on the next :meth:`run` call,
+        bit-identically to a run that was never interrupted (same
+        accuracy trace, same RNG streams — see DESIGN.md §10).
+        """
+        simulator, result, next_window, applications = restore_simulator(
+            load_checkpoint(path)
+        )
+        simulator._resume_state = (result, next_window, applications)
+        return simulator
 
     def _remap(self) -> None:
         if self.aging_aware:
@@ -140,22 +169,63 @@ class LifetimeSimulator:
         else:
             self.network.map_network(FreshMapper())
 
-    def run(self, scenario_key: str = "custom") -> LifetimeResult:
-        """Simulate windows until tuning fails or the horizon is reached."""
+    def run(
+        self,
+        scenario_key: str = "custom",
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir=None,
+        run_id: Optional[str] = None,
+    ) -> LifetimeResult:
+        """Simulate windows until tuning fails or the horizon is reached.
+
+        With ``checkpoint_every=N`` (requires ``checkpoint_dir``) a
+        durable snapshot is written after every N completed windows, so
+        a killed process can be continued with :meth:`resume` at the
+        cost of re-running at most N-1 windows.  Snapshotting draws no
+        randomness: a checkpointing run is bit-identical to a plain one.
+        On a simulator built by :meth:`resume`, the restored run is
+        continued (``scenario_key`` is then taken from the snapshot).
+        """
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ConfigurationError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if checkpoint_dir is None:
+                raise ConfigurationError(
+                    "checkpoint_every requires a checkpoint_dir"
+                )
         PROFILER.increment("lifetime.runs")
         with PROFILER.timer("lifetime.run"):
-            return self._run_impl(scenario_key)
+            return self._run_impl(
+                scenario_key, checkpoint_every, checkpoint_dir, run_id
+            )
 
-    def _run_impl(self, scenario_key: str) -> LifetimeResult:
+    def _run_impl(
+        self,
+        scenario_key: str,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir=None,
+        run_id: Optional[str] = None,
+    ) -> LifetimeResult:
         cfg = self.config
-        result = LifetimeResult(
-            scenario_key=scenario_key,
-            lifetime_applications=0,
-            failed=False,
-            target_accuracy=cfg.tuning.target_accuracy,
+        if self._resume_state is not None:
+            result, start_window, applications = self._resume_state
+            self._resume_state = None
+        else:
+            result = LifetimeResult(
+                scenario_key=scenario_key,
+                lifetime_applications=0,
+                failed=False,
+                target_accuracy=cfg.tuning.target_accuracy,
+                software_accuracy=self.software_accuracy,
+            )
+            start_window, applications = 0, 0
+        manager = (
+            CheckpointManager(checkpoint_dir) if checkpoint_every is not None else None
         )
-        applications = 0
-        for window in range(cfg.max_windows):
+        ckpt_run_id = run_id if run_id is not None else result.scenario_key
+        for window in range(start_window, cfg.max_windows):
             # Field faults land first: a schedule's due events hit the
             # array before this window's applications, so the following
             # maintenance cycle has to recover from them.
@@ -192,4 +262,12 @@ class LifetimeSimulator:
                 result.lifetime_applications = applications - cfg.apps_per_window
                 return result
             result.lifetime_applications = applications
+            if manager is not None and (window + 1) % checkpoint_every == 0:
+                PROFILER.increment("lifetime.checkpoints")
+                with PROFILER.timer("lifetime.checkpoint"):
+                    manager.save(
+                        capture_simulator(self, result, window + 1, applications),
+                        run_id=ckpt_run_id,
+                        window=window + 1,
+                    )
         return result

@@ -176,6 +176,7 @@ class Sweep:
         workers: int = 1,
         cache: Optional[ResultCache] = None,
         cache_token: Optional[str] = None,
+        journal=None,
     ) -> SweepResult:
         """Evaluate all ``values``; errors are captured per point.
 
@@ -184,7 +185,12 @@ class Sweep:
         sequential).  ``cache`` short-circuits points whose key — see
         :meth:`point_cache_key` — already has a stored result.  With
         ``fail_fast=True`` the first failing point's original exception
-        propagates instead of being captured.
+        propagates instead of being captured.  ``journal`` (a
+        :class:`repro.core.checkpoint.RunJournal`) makes the sweep
+        crash-safe: completed points are appended durably as they
+        finish, and a re-launched sweep over the same journal skips
+        them (keyed by :meth:`point_cache_key`, so a config change
+        still re-executes).
         """
         tasks = [
             Task(
@@ -196,17 +202,25 @@ class Sweep:
                     if cache is not None
                     else None
                 ),
+                journal_key=(
+                    self.point_cache_key(value, cache_token)
+                    if journal is not None
+                    else None
+                ),
             )
             for value in values
         ]
-        outcomes = ParallelExecutor(workers=workers, cache=cache).run(
+        outcomes = ParallelExecutor(workers=workers, cache=cache, journal=journal).run(
             tasks, reraise=fail_fast
         )
 
         result = SweepResult(parameter=self.parameter)
         for value, outcome in zip(values, outcomes):
             point = SweepPoint(
-                value=value, seconds=outcome.seconds, cached=outcome.cached
+                value=value,
+                seconds=outcome.seconds,
+                # Journal replay is storage too: the point did not execute.
+                cached=outcome.cached or outcome.journaled,
             )
             if not outcome.ok:
                 # Transport-level failure: the worker process died (e.g.

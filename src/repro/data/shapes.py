@@ -12,7 +12,7 @@ paper, while remaining solvable by a small VGG-style CNN in minutes.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 

@@ -15,7 +15,7 @@ device ages: aging removes levels that fall outside the aged window
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Optional, Union
 
 import numpy as np
 

@@ -40,3 +40,7 @@ class CrossbarFailure(ReproError, RuntimeError):
 
 class DeviceError(ReproError, RuntimeError):
     """A memristor device was driven outside its physical envelope."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file is missing, corrupt, or from an unknown schema."""

@@ -27,12 +27,40 @@ PathLike = Union[str, pathlib.Path]
 
 
 # -- generic JSON persistence (cache backend) ---------------------------------
-def save_json_atomic(payload: Any, path: PathLike) -> None:
-    """Write ``payload`` as JSON via an atomic same-directory rename."""
+def save_json_atomic(payload: Any, path: PathLike, durable: bool = False) -> None:
+    """Write ``payload`` as JSON via an atomic same-directory rename.
+
+    With ``durable=True`` the temp file is fsync'd before the rename (and
+    the directory after), so a crash can leave either the old file or the
+    complete new one — never a torn write that *looks* committed.  The
+    checkpoint subsystem requires this; the result cache does not (a lost
+    cache entry is only a re-computation).
+    """
     path = pathlib.Path(path)
     tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
-    tmp.write_text(json.dumps(payload, sort_keys=True))
+    text = json.dumps(payload, sort_keys=True)
+    if durable:
+        with open(tmp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+    else:
+        tmp.write_text(text)
     os.replace(tmp, path)
+    if durable:
+        _fsync_dir(path.parent)
+
+
+def _fsync_dir(directory: pathlib.Path) -> None:
+    """Flush a directory entry so a rename survives power loss."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. non-POSIX directory handles
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def load_json(path: PathLike) -> Any:

@@ -137,7 +137,6 @@ class Conv2D(ParamLayer):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         assert self._cols is not None and self._x_shape is not None
-        n = grad.shape[0]
         k = self.kernel_size
         grad_mat = grad.transpose(0, 2, 3, 1).reshape(-1, self.filters)
         self._grads["W"][...] = (grad_mat.T @ self._cols).reshape(self._params["W"].shape)

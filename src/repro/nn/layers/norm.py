@@ -79,7 +79,6 @@ class BatchNorm(ParamLayer):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         x_hat, std, axes = self._cache
-        m = float(np.prod([grad.shape[a] for a in axes]))
         self._grads["gamma"][...] = np.sum(grad * x_hat, axis=axes)
         self._grads["beta"][...] = np.sum(grad, axis=axes)
         gamma = self._reshape(self._params["gamma"], grad)

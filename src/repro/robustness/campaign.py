@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.core.checkpoint import RunJournal
 from repro.core.executor import ParallelExecutor, ResultCache, Task
 from repro.core.framework import AgingAwareFramework
 from repro.core.profiling import PROFILER
@@ -91,6 +92,7 @@ class FaultCampaign:
         repeat: int = 0,
         workers: int = 1,
         cache: Optional[ResultCache] = None,
+        journal: Optional[RunJournal] = None,
     ) -> None:
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
@@ -101,16 +103,29 @@ class FaultCampaign:
         self.repeat = int(repeat)
         self.workers = int(workers)
         self.cache = cache
+        #: Optional crash-safe journal: completed grid points are
+        #: appended durably as they finish, and a re-launched campaign
+        #: over the same journal re-executes zero of them.
+        self.journal = journal
 
-    def _point_cache_key(self, point: CampaignPoint) -> Optional[str]:
-        if self.cache is None:
-            return None
+    def _point_key(self, point: CampaignPoint) -> str:
+        """Content-hash identity of one grid point (cache AND journal).
+
+        The same fingerprint the :class:`ResultCache` uses, so journal
+        replay obeys identical invalidation semantics: any change to the
+        framework config, dataset, scenario or fault grid re-executes.
+        """
         extra = (
             None
             if point.schedule is None and point.degradation is None
             else ("robustness/v1", point.schedule, point.degradation)
         )
         return self.framework.scenario_cache_key(self.scenario, self.repeat, extra=extra)
+
+    def _point_cache_key(self, point: CampaignPoint) -> Optional[str]:
+        if self.cache is None:
+            return None
+        return self._point_key(point)
 
     def run(self, points: Sequence[CampaignPoint]) -> SurvivabilityReport:
         """Simulate every grid point and assemble the report.
@@ -129,9 +144,16 @@ class FaultCampaign:
             # Serial mode: capture per-point perf-counter deltas so the
             # report can attribute kernel-cache savings and vmm
             # throughput to individual grid points.  (Counters are
-            # process-local; the parallel branch leaves perf empty.)
+            # process-local; the parallel branch leaves perf empty.
+            # Journal-replayed points also skip perf capture — nothing
+            # executed.)
             results = []
             for p in points:
+                key = self._point_key(p) if self.journal is not None else None
+                if key is not None and key in self.journal:
+                    self.journal.skipped += 1
+                    results.append(LifetimeResult.from_dict(self.journal.get(key)))
+                    continue
                 with PROFILER.capture() as delta:
                     results.append(
                         self.framework.run_scenario(
@@ -143,6 +165,8 @@ class FaultCampaign:
                         )
                     )
                 point_perf[p.name] = delta.to_dict()
+                if key is not None:
+                    self.journal.record(key, results[-1].to_dict())
         else:
             self.framework.trained_model(self.scenario.skewed_training)
             tasks = [
@@ -157,12 +181,17 @@ class FaultCampaign:
                         p.degradation,
                     ),
                     cache_key=self._point_cache_key(p),
+                    journal_key=(
+                        self._point_key(p) if self.journal is not None else None
+                    ),
                     encode=LifetimeResult.to_dict,
                     decode=LifetimeResult.from_dict,
                 )
                 for p in points
             ]
-            executor = ParallelExecutor(workers=self.workers, cache=self.cache)
+            executor = ParallelExecutor(
+                workers=self.workers, cache=self.cache, journal=self.journal
+            )
             results = [o.value for o in executor.run(tasks, reraise=True)]
 
         report = SurvivabilityReport(

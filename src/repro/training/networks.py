@@ -16,7 +16,7 @@ need:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.nn import (

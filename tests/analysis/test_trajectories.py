@@ -1,9 +1,6 @@
 """Unit tests for trajectory analyses (Fig. 10/11 helpers)."""
 
-import pytest
-
 from repro.analysis import iteration_knee, layer_type_aging
-from repro.core.results import LifetimeResult, WindowRecord
 
 
 class TestIterationKnee:

@@ -1,0 +1,339 @@
+"""Unit tests for the checkpoint/resume subsystem (DESIGN.md §10).
+
+Covers the snapshot file format (atomicity is delegated to
+:func:`repro.io.save_json_atomic`; here we verify versioning, content
+hashing and corruption detection), the capture/restore round trip on a
+real mid-run simulator, directory management (ls/gc semantics) and the
+crash-safe campaign journal.  The end-to-end kill-and-resume
+bit-identity property lives in
+``tests/integration/test_checkpoint_resume.py``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CHECKPOINT_SUFFIX,
+    CheckpointManager,
+    RunJournal,
+    _decode_array,
+    _encode_array,
+    capture_simulator,
+    inspect_checkpoint,
+    load_checkpoint,
+    restore_rng,
+    restore_simulator,
+    rng_state,
+    save_checkpoint,
+)
+from repro.core.lifetime import LifetimeConfig, LifetimeSimulator
+from repro.exceptions import CheckpointError, ConfigurationError
+from repro.mapping import MappedNetwork
+from repro.tuning import TuningConfig
+
+
+@pytest.fixture()
+def simulator(trained_mlp, device_config, blob_dataset):
+    network = MappedNetwork(trained_mlp, device_config, seed=41)
+    network.map_network()
+    config = LifetimeConfig(
+        apps_per_window=1000,
+        drift_magnitude=0.05,
+        max_windows=4,
+        tuning=TuningConfig(target_accuracy=0.9, max_iterations=20),
+    )
+    return LifetimeSimulator(
+        network,
+        blob_dataset.x_train[:96],
+        blob_dataset.y_train[:96],
+        config=config,
+        seed=42,
+    )
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize("dtype", ["float64", "float32", "int64", "bool"])
+    def test_bit_exact_roundtrip(self, dtype, rng):
+        arr = (rng.standard_normal((5, 7)) * 100).astype(dtype)
+        out = _decode_array(_encode_array(arr))
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        assert np.array_equal(out, arr)
+
+    def test_non_contiguous_input(self, rng):
+        arr = rng.standard_normal((8, 8))[::2, 1::3]
+        assert np.array_equal(_decode_array(_encode_array(arr)), arr)
+
+    def test_special_floats_survive(self):
+        arr = np.array([np.nan, np.inf, -np.inf, -0.0, 1e-308])
+        out = _decode_array(_encode_array(arr))
+        assert out.tobytes() == arr.tobytes()
+
+    def test_decoded_array_is_writable(self, rng):
+        out = _decode_array(_encode_array(rng.standard_normal(4)))
+        out[0] = 1.0  # np.frombuffer alone would be read-only
+
+
+class TestRngState:
+    def test_exact_stream_position(self):
+        gen = np.random.default_rng(7)
+        gen.standard_normal(13)  # advance mid-stream
+        state = rng_state(gen)
+        expected = gen.standard_normal(50)
+        clone = np.random.default_rng(0)
+        restore_rng(clone, state)
+        assert np.array_equal(clone.standard_normal(50), expected)
+
+    def test_state_is_json_serializable(self):
+        state = rng_state(np.random.default_rng(3))
+        assert json.loads(json.dumps(state)) == state
+
+    def test_bit_generator_mismatch_rejected(self):
+        state = rng_state(np.random.default_rng(3))
+        other = np.random.Generator(np.random.MT19937(3))
+        with pytest.raises(CheckpointError, match="bit-generator mismatch"):
+            restore_rng(other, state)
+
+
+class TestSnapshotFile:
+    PAYLOAD = {"meta": {"scenario_key": "t+t"}, "layers": [], "n": 3}
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / f"a{CHECKPOINT_SUFFIX}"
+        assert save_checkpoint(self.PAYLOAD, path) == path
+        assert load_checkpoint(path) == self.PAYLOAD
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(tmp_path / "nope.ckpt.json")
+
+    def test_unparseable_file(self, tmp_path):
+        path = tmp_path / "torn.ckpt.json"
+        path.write_text('{"schema": 1, "kind": "repro-life')
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_checkpoint(path)
+
+    def test_foreign_json_rejected(self, tmp_path):
+        path = tmp_path / "other.ckpt.json"
+        path.write_text(json.dumps({"schema": 1, "payload": {}}))
+        with pytest.raises(CheckpointError, match="not a lifetime checkpoint"):
+            load_checkpoint(path)
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.ckpt.json"
+        save_checkpoint(self.PAYLOAD, path)
+        document = json.loads(path.read_text())
+        document["schema"] = CHECKPOINT_SCHEMA + 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointError, match="unknown checkpoint schema"):
+            load_checkpoint(path)
+
+    def test_bit_rot_detected(self, tmp_path):
+        path = tmp_path / "rot.ckpt.json"
+        save_checkpoint(self.PAYLOAD, path)
+        document = json.loads(path.read_text())
+        document["payload"]["n"] = 4  # flip a bit past the recorded digest
+        path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointError, match="content hash mismatch"):
+            load_checkpoint(path)
+
+
+class TestCaptureRestore:
+    def _mid_run_payload(self, simulator):
+        result = simulator.run("t+t")
+        return capture_simulator(
+            simulator, result, len(result.windows), result.lifetime_applications
+        )
+
+    def test_capture_draws_no_randomness(self, simulator):
+        result = simulator.run("t+t")
+        before = rng_state(simulator.tuner._rng)
+        capture_simulator(simulator, result, 4, 4000)
+        assert rng_state(simulator.tuner._rng) == before
+
+    def test_roundtrip_restores_exact_state(self, simulator, tmp_path):
+        payload = self._mid_run_payload(simulator)
+        path = save_checkpoint(payload, tmp_path / f"t+t{CHECKPOINT_SUFFIX}")
+        restored, result, next_window, applications = restore_simulator(
+            load_checkpoint(path)
+        )
+        assert next_window == len(result.windows)
+        assert applications == result.lifetime_applications
+        for original, clone in zip(restored.network.layers, simulator.network.layers):
+            for (_, arm_a), (_, arm_b) in zip(
+                # capture/restore iterate arms in this same order
+                _layer_arms_pair(original),
+                _layer_arms_pair(clone),
+            ):
+                for (_, _, ta), (_, _, tb) in zip(arm_a.iter_tiles(), arm_b.iter_tiles()):
+                    assert np.array_equal(ta.resistance, tb.resistance)
+                    assert np.array_equal(ta.stress_time, tb.stress_time)
+                    assert np.array_equal(ta.pulse_counts, tb.pulse_counts)
+                    assert ta.state_version == tb.state_version
+                    assert rng_state(ta._rng) == rng_state(tb._rng)
+        assert rng_state(restored.tuner._rng) == rng_state(simulator.tuner._rng)
+
+    def test_missing_layer_rejected(self, simulator):
+        payload = self._mid_run_payload(simulator)
+        payload["layers"][0]["layer_index"] = 99
+        with pytest.raises(CheckpointError, match="missing from the restored network"):
+            restore_simulator(payload)
+
+    def test_tile_shape_mismatch_rejected(self, simulator):
+        payload = self._mid_run_payload(simulator)
+        tile_doc = payload["layers"][0]["arms"][0]["tiles"][0]
+        tile_doc["resistance"]["shape"] = [1, 1]
+        with pytest.raises(CheckpointError, match="tile shape mismatch"):
+            restore_simulator(payload)
+
+    def test_fault_stream_without_schedule_rejected(self, simulator):
+        payload = self._mid_run_payload(simulator)
+        payload["rng"]["fault"] = payload["rng"]["tuner"]
+        with pytest.raises(CheckpointError, match="no fault schedule"):
+            restore_simulator(payload)
+
+    def test_inspect_summary(self, simulator, tmp_path):
+        payload = self._mid_run_payload(simulator)
+        path = save_checkpoint(payload, tmp_path / f"t+t{CHECKPOINT_SUFFIX}")
+        info = inspect_checkpoint(path)
+        assert info["scenario_key"] == "t+t"
+        assert info["next_window"] == 4
+        assert info["windows_recorded"] == 4
+        assert info["schema"] == CHECKPOINT_SCHEMA
+        assert info["layers"] == len(simulator.network.layers)
+        assert info["tiles"] >= info["layers"]
+        assert info["devices"] > 0
+        assert info["bytes"] == path.stat().st_size
+
+
+def _layer_arms_pair(mapped):
+    from repro.core.checkpoint import _layer_arms
+
+    return _layer_arms(mapped)
+
+
+class TestManager:
+    PAYLOAD = {"meta": {}, "layers": []}
+
+    def test_filenames_and_sanitization(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        assert manager.path_for("st+at-r0", 7).name == f"st+at-r0-w00007{CHECKPOINT_SUFFIX}"
+        assert "/" not in manager.path_for("a/b c", 1).stem
+
+    def test_entries_and_latest(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        for window in (4, 2, 6):
+            manager.save(self.PAYLOAD, run_id="t+t-r0", window=window)
+        manager.save(self.PAYLOAD, run_id="st+at-r0", window=3)
+        (tmp_path / "notes.txt").write_text("ignored")
+        (tmp_path / f"malformed{CHECKPOINT_SUFFIX}").write_text("{}")
+        entries = manager.entries()
+        assert [(e.run_id, e.window) for e in entries] == [
+            ("st+at-r0", 3),
+            ("t+t-r0", 2),
+            ("t+t-r0", 4),
+            ("t+t-r0", 6),
+        ]
+        assert manager.latest().name == f"t+t-r0-w00006{CHECKPOINT_SUFFIX}"
+        assert manager.latest(run_id="st+at-r0").name == (
+            f"st+at-r0-w00003{CHECKPOINT_SUFFIX}"
+        )
+        assert manager.latest(run_id="unknown") is None
+
+    def test_gc_keeps_newest_per_run(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        for window in (1, 2, 3):
+            manager.save(self.PAYLOAD, run_id="a", window=window)
+        manager.save(self.PAYLOAD, run_id="b", window=1)
+        removed = manager.gc(keep=2)
+        assert [p.name for p in removed] == [f"a-w00001{CHECKPOINT_SUFFIX}"]
+        assert len(manager.entries()) == 3
+
+    def test_gc_scoped_to_run(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(self.PAYLOAD, run_id="a", window=1)
+        manager.save(self.PAYLOAD, run_id="b", window=1)
+        removed = manager.gc(keep=0, run_id="a")
+        assert [p.name for p in removed] == [f"a-w00001{CHECKPOINT_SUFFIX}"]
+        assert [e.run_id for e in manager.entries()] == ["b"]
+
+    def test_gc_negative_keep_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CheckpointManager(tmp_path).gc(keep=-1)
+
+
+class TestJournal:
+    def test_record_and_replay(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("k1", {"x": 1})
+        journal.record("k2", {"x": 2})
+        journal.record("k1", {"x": 999})  # idempotent: first write wins
+        assert len(path.read_text().splitlines()) == 2
+        relaunch = RunJournal(path)
+        assert len(relaunch) == 2
+        assert "k1" in relaunch and relaunch.get("k1") == {"x": 1}
+        assert relaunch.dropped_lines == 0
+
+    def test_fresh_start_truncates(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunJournal(path).record("k1", {"x": 1})
+        assert len(RunJournal(path, resume=False)) == 0
+        assert not path.exists() or path.read_text() == ""
+
+    def test_corrupt_tail_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("k1", {"x": 1})
+        journal.record("k2", {"x": 2})
+        # Simulate a crash mid-append: truncate inside the last line.
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])
+        relaunch = RunJournal(path)
+        assert relaunch.dropped_lines == 1
+        assert "k1" in relaunch and "k2" not in relaunch
+
+    def test_tampered_line_dropped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("k1", {"x": 1})
+        line = json.loads(path.read_text())
+        line["payload"] = {"x": 42}  # digest no longer matches
+        path.write_text(json.dumps(line) + "\n")
+        relaunch = RunJournal(path)
+        assert relaunch.dropped_lines == 1
+        assert "k1" not in relaunch
+
+    def test_unknown_schema_line_dropped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("k1", {"x": 1})
+        line = json.loads(path.read_text())
+        line["schema"] = 99
+        path.write_text(json.dumps(line) + "\n")
+        assert len(RunJournal(path)) == 0
+
+    def test_append_after_torn_tail_starts_fresh_line(self, tmp_path):
+        """Regression: welding a record onto a newline-less torn tail
+        would corrupt the new record too."""
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("k1", {"x": 1})
+        journal.record("k2", {"x": 2})
+        path.write_bytes(path.read_bytes()[:-9])  # tear the k2 line
+        relaunch = RunJournal(path)
+        relaunch.record("k2", {"x": 2})
+        final = RunJournal(path)
+        assert sorted(final.entries) == ["k1", "k2"]
+        assert final.dropped_lines == 1  # the torn line, nothing else
+
+    def test_appends_survive_alongside_replay(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunJournal(path).record("k1", {"x": 1})
+        relaunch = RunJournal(path)
+        relaunch.record("k2", {"x": 2})
+        third = RunJournal(path)
+        assert sorted(third.entries) == ["k1", "k2"]

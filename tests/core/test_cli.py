@@ -31,6 +31,34 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--scenario", "nope"])
 
+    def test_checkpoint_flag_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.checkpoint_every is None
+        assert args.checkpoint_dir == ".repro-checkpoints"
+        assert args.resume is None
+        args = build_parser().parse_args(
+            ["run", "--checkpoint-every", "5", "--checkpoint-dir", "c"]
+        )
+        assert args.checkpoint_every == 5 and args.checkpoint_dir == "c"
+
+    def test_campaign_journal_flags(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.journal is None and not args.resume
+        args = build_parser().parse_args(
+            ["campaign", "--journal", "j.jsonl", "--resume"]
+        )
+        assert args.journal == "j.jsonl" and args.resume
+
+    def test_checkpoints_subcommands_parse(self):
+        ls = build_parser().parse_args(["checkpoints", "ls", "--dir", "d"])
+        assert ls.ckpt_command == "ls" and ls.dir == "d"
+        gc = build_parser().parse_args(["checkpoints", "gc", "--keep", "2"])
+        assert gc.ckpt_command == "gc" and gc.keep == 2
+        ins = build_parser().parse_args(["checkpoints", "inspect", "x.ckpt.json"])
+        assert ins.ckpt_command == "inspect" and ins.path == "x.ckpt.json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["checkpoints"])
+
     def test_profile_flag_variants(self):
         assert build_parser().parse_args(["run"]).profile is None
         assert build_parser().parse_args(["run", "--profile"]).profile == "-"
@@ -149,6 +177,14 @@ class TestCommands:
         first = json.loads((tmp_path / "first.json").read_text())
         second = json.loads((tmp_path / "second.json").read_text())
         assert first == second
+
+    def test_campaign_resume_requires_journal(self, capsys):
+        assert main(["campaign", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().out
+
+    def test_checkpoints_ls_empty_dir(self, tmp_path, capsys):
+        assert main(["checkpoints", "ls", "--dir", str(tmp_path)]) == 0
+        assert "no checkpoints" in capsys.readouterr().out
 
     def test_compare_accepts_workers(self, tmp_path, capsys):
         args = build_parser().parse_args(

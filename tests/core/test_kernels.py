@@ -84,7 +84,11 @@ class TestFactorizationCache:
     def test_hit_on_same_version(self, small_g):
         cache = FactorizationCache()
         builds = []
-        build = lambda: builds.append(1) or NodalSolver(small_g, 5.0)
+
+        def build():
+            builds.append(1)
+            return NodalSolver(small_g, 5.0)
+
         s1 = cache.get(3, 5.0, build)
         s2 = cache.get(3, 5.0, build)
         assert s1 is s2

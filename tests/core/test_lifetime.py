@@ -1,6 +1,5 @@
 """Unit tests for the lifetime simulation engine."""
 
-import numpy as np
 import pytest
 
 from repro.core.lifetime import LifetimeConfig, LifetimeSimulator

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.device import DeviceConfig
 from repro.exceptions import ConfigurationError, ShapeError
 from repro.mapping.differential import (
     DifferentialMappedNetwork,

@@ -2,11 +2,9 @@
 end-to-end, including conv/pool stacks and the skewed regularizer."""
 
 import numpy as np
-import pytest
 
 from repro.nn import (
     Activation,
-    Adam,
     AvgPool2D,
     BatchNorm,
     Conv2D,

@@ -5,8 +5,6 @@ burst at rate 0.01 completes without raising and reports a strictly
 lower lifetime than the fault-free golden run of the same framework.
 """
 
-import numpy as np
-
 from repro.robustness import FaultSchedule
 
 

@@ -2,7 +2,6 @@
 maintenance-hook extension point."""
 
 import numpy as np
-import pytest
 
 from repro.core.lifetime import LifetimeConfig, LifetimeSimulator
 from repro.mapping import MappedNetwork

@@ -18,6 +18,9 @@
 * :class:`CheckpointManager` / :class:`RunJournal` — durable
   checkpoint/resume for lifetime runs and crash-safe journaling of
   campaign/sweep grids (DESIGN.md §10).
+* :func:`vectorized_enabled` / :func:`set_vectorized_enabled` — switch
+  between the vectorized lifetime hot loop and the scalar reference
+  path (``REPRO_SCALAR_TUNER``, DESIGN.md §11).
 """
 
 from repro.core.checkpoint import (
@@ -36,6 +39,7 @@ from repro.core.executor import (
     TaskOutcome,
     fingerprint,
 )
+from repro.core.fastpath import set_vectorized_enabled, vectorized_enabled
 from repro.core.framework import AgingAwareFramework, FrameworkConfig
 from repro.core.kernels import (
     FactorizationCache,
@@ -85,5 +89,7 @@ __all__ = [
     "load_checkpoint",
     "save_checkpoint",
     "set_cache_enabled",
+    "set_vectorized_enabled",
+    "vectorized_enabled",
     "vggnet_shapes",
 ]

@@ -164,6 +164,8 @@ def _restore_tile(tile, d: dict) -> None:
     tile.pulse_miss_rate = float(d["pulse_miss_rate"])
     tile._conductance_cache = None
     tile._solver_cache.invalidate()
+    tile._bounds_cache = None
+    tile._dead_cache = None
     tile._state_version = int(d["state_version"])
     restore_rng(tile._rng, d["rng"])
 
@@ -228,6 +230,15 @@ def restore_simulator(payload: dict):
     structured sections, which are the format's source of truth.
     """
     simulator = _serializer.loads(base64.b64decode(payload["context_pickle"]))
+    # Captures happen outside any read-reuse scope, but reset the
+    # network-level memo state anyway (covers snapshots pickled by
+    # builds without it, and makes restore independent of capture
+    # context): scratch-model contents are derived state, rebuilt from
+    # the authoritative tile arrays on first read.
+    network = simulator.network
+    network._reuse_depth = 0
+    network._scratch_holds = None
+    network._software_snapshot = None
     restore_rng(simulator.tuner._rng, payload["rng"]["tuner"])
     fault_state = payload["rng"].get("fault")
     if fault_state is not None:

@@ -35,6 +35,12 @@ read between reprogramming events reuses the factorization, a write
 invalidates it.  The module-level :func:`set_cache_enabled` switch
 exists so benchmarks and regression tests can prove cached and
 uncached paths agree bit for bit.
+
+The write side of the lifetime loop — batched pulse programming, the
+read-reuse memoization of :class:`repro.mapping.network.MappedNetwork`,
+and the ``REPRO_SCALAR_TUNER`` reference path — lives in
+:mod:`repro.core.fastpath` and DESIGN.md §11; its value caches honour
+the same :func:`cache_enabled` switch as this module.
 """
 
 from __future__ import annotations

@@ -6,6 +6,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.fastpath import vectorized_enabled
 from repro.core.kernels import FactorizationCache, NodalSolver, cache_enabled
 from repro.core.profiling import PROFILER
 from repro.device.config import DeviceConfig
@@ -39,6 +40,13 @@ class Crossbar:
     exact IR-drop factorization (:meth:`nodal_solver`).  Reads never
     bump the version; fault-free reads also never draw RNG, so caching
     cannot perturb any random stream.
+
+    A second counter tracks *stress* mutations only (pulse aging, fault
+    injection) and keys the aged-bounds/dead-mask caches of the
+    vectorized pulse path (:meth:`program_pulses`, DESIGN.md §11):
+    resistance moves between aging events leave the aged window — a
+    pure function of the stress history — untouched, so its arrays are
+    reused bit for bit.
     """
 
     def __init__(
@@ -66,6 +74,13 @@ class Crossbar:
         self._state_version = 0
         self._conductance_cache: Optional[Tuple[int, np.ndarray]] = None
         self._solver_cache = FactorizationCache()
+        #: Monotonic counter of *stress* mutations (pulse aging, fault
+        #: injection); keys the aged-bounds/dead-mask caches of the
+        #: vectorized pulse path (DESIGN.md §11).  Resistance writes do
+        #: not age devices and leave these caches valid.
+        self._stress_version = 0
+        self._bounds_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+        self._dead_cache: Optional[Tuple[int, np.ndarray]] = None
 
         shape = (self.rows, self.cols)
         if self.config.variability is not None:
@@ -105,24 +120,38 @@ class Crossbar:
     @resistance.setter
     def resistance(self, value: np.ndarray) -> None:
         self._resistance = value
-        self.mark_state_dirty()
+        # A resistance write invalidates the read-path caches but not
+        # the aged-bounds caches: programming moves values, not stress.
+        self._invalidate_read_caches()
 
     @property
     def state_version(self) -> int:
         """Monotonic count of programmed-state mutations."""
         return self._state_version
 
-    def mark_state_dirty(self) -> None:
-        """Invalidate cached read-path state after an out-of-band mutation.
-
-        Bumps :attr:`state_version` and drops the cached conductance
-        matrix and nodal factorizations.  Called automatically by the
-        :attr:`resistance` setter; call it directly after mutating
-        ``stress_time`` or ``resistance`` in place.
-        """
+    def _invalidate_read_caches(self) -> None:
         self._state_version += 1
         self._conductance_cache = None
         self._solver_cache.invalidate()
+
+    def _invalidate_stress_caches(self) -> None:
+        self._stress_version += 1
+        self._bounds_cache = None
+        self._dead_cache = None
+
+    def mark_state_dirty(self) -> None:
+        """Invalidate every cached view after an out-of-band mutation.
+
+        Bumps :attr:`state_version`, drops the cached conductance
+        matrix and nodal factorizations, and also drops the aged-bounds
+        and dead-mask caches (fault injection mutates ``stress_time``
+        in place and relies on this hook).  Call it after mutating
+        ``stress_time`` or ``resistance`` in place; in-repo writers
+        assign :attr:`resistance`, whose setter invalidates only the
+        read-path caches.
+        """
+        self._invalidate_read_caches()
+        self._invalidate_stress_caches()
 
     # -- aging state ------------------------------------------------------
     @property
@@ -130,14 +159,50 @@ class Crossbar:
         return (self.rows, self.cols)
 
     def aged_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-device ``(R_aged,min, R_aged,max)`` arrays."""
-        return self.aging.aged_bounds(
+        """Per-device ``(R_aged,min, R_aged,max)`` arrays.
+
+        Cached per stress version on the vectorized path (DESIGN.md
+        §11): the bounds are a deterministic function of the stress
+        history, so between aging events every read — dead-mask checks,
+        quantization windows, tracer estimates, window bookkeeping —
+        reuses the same (read-only) arrays bit for bit.
+        """
+        cached = self._bounds_cache
+        if (
+            cached is not None
+            and cached[0] == self._stress_version
+            and cache_enabled()
+            and vectorized_enabled()
+        ):
+            PROFILER.increment("crossbar.bounds_cache_hits")
+            return cached[1], cached[2]
+        lo, hi = self.aging.aged_bounds(
             self.r_fresh_min, self.r_fresh_max, self.config.temperature, self.stress_time
         )
+        if cache_enabled() and vectorized_enabled():
+            lo.setflags(write=False)
+            hi.setflags(write=False)
+            self._bounds_cache = (self._stress_version, lo, hi)
+        return lo, hi
 
     def dead_mask(self) -> np.ndarray:
-        """Devices with fewer than two usable levels left (end-of-life)."""
-        return self.usable_level_counts() < 2
+        """Devices with fewer than two usable levels left (end-of-life).
+
+        Cached per stress version alongside :meth:`aged_bounds`.
+        """
+        cached = self._dead_cache
+        if (
+            cached is not None
+            and cached[0] == self._stress_version
+            and cache_enabled()
+            and vectorized_enabled()
+        ):
+            return cached[1]
+        mask = self.usable_level_counts() < 2
+        if cache_enabled() and vectorized_enabled():
+            mask.setflags(write=False)
+            self._dead_cache = (self._stress_version, mask)
+        return mask
 
     def dead_fraction(self) -> float:
         """Fraction of dead devices in the array."""
@@ -164,6 +229,7 @@ class Crossbar:
         self.pulse_counts[mask] += 1
         factor = self.config.stress_factor(at_resistance)
         self.stress_time[mask] += self.config.pulse_width * factor[mask]
+        self._invalidate_stress_caches()
 
     def _apply_pulse_misses(self, select: np.ndarray) -> np.ndarray:
         """Drop selected devices whose programming pulse silently fails.
@@ -196,6 +262,17 @@ class Crossbar:
         Dead devices are never pulsed and keep their pinned value.
         Returns the achieved resistance matrix.
         """
+        self._program_impl(targets, only_changed)
+        return self.resistance.copy()
+
+    def _program_impl(self, targets: np.ndarray, only_changed: bool) -> np.ndarray:
+        """Shared body of :meth:`program` / :meth:`program_targets`.
+
+        Returns the boolean *select* mask of devices that actually
+        received a pulse (post miss-draw) — both public entry points
+        run the identical operation sequence, so the scalar and batched
+        programming paths are bit-identical by construction.
+        """
         targets = np.asarray(targets, dtype=np.float64)
         if targets.shape != self.shape:
             raise ShapeError(f"targets shape {targets.shape} != crossbar {self.shape}")
@@ -222,7 +299,17 @@ class Crossbar:
             )
             achieved = np.clip(achieved + noise, lo, hi)
         self.resistance = np.where(select, achieved, self.resistance)
-        return self.resistance.copy()
+        return select
+
+    def program_targets(self, targets: np.ndarray, only_changed: bool = True) -> int:
+        """Batched programming: :meth:`program` without the result copy.
+
+        Same draws, same arithmetic, same state transitions as
+        :meth:`program`; skips materializing the achieved-resistance
+        return value that batch callers (the mapper) discard.  Returns
+        the number of devices that actually received a pulse.
+        """
+        return int(np.count_nonzero(self._program_impl(targets, only_changed)))
 
     def step_levels(self, directions: np.ndarray) -> np.ndarray:
         """Apply one ±1-level tuning pulse per selected device.
@@ -271,20 +358,83 @@ class Crossbar:
         if fraction <= 0:
             raise ConfigurationError(f"fraction must be > 0, got {fraction}")
 
-        select = self._apply_pulse_misses((directions != 0) & ~self.dead_mask())
+        self._pulse_impl(directions, directions != 0, fraction)
+        return self.resistance.copy()
+
+    def _pulse_impl(
+        self, directions: np.ndarray, active: np.ndarray, fraction: float
+    ) -> np.ndarray:
+        """Shared body of :meth:`step_conductance` / :meth:`program_pulses`.
+
+        ``active`` is the precomputed ``directions != 0`` mask (batch
+        callers already hold it).  Returns the boolean *select* mask of
+        devices that actually fired (post miss-draw).  RNG draw order is
+        part of the contract: one miss draw (only when
+        ``pulse_miss_rate > 0``), then one write-noise draw (only when
+        ``write_noise > 0``), each over the full tile shape.
+
+        Two bodies, bit-identical by contract: the vectorized one
+        updates the whole array at once; the ``REPRO_SCALAR_TUNER``
+        reference transcribes the paper's Eq. (5) pulse loop device by
+        device (the oracle the equivalence battery diffs against).
+        Both share the same RNG draws and the same device-physics
+        evaluations (stress accrual, aged bounds), and the per-device
+        arithmetic involves only exact elementwise IEEE ops, so the two
+        bodies produce identical conductances, streams and versions.
+        """
+        select = self._apply_pulse_misses(active & ~self.dead_mask())
         self._apply_stress(select, self.resistance)
         g_step = fraction * (self.config.g_max - self.config.g_min) / (self.grid.n_levels - 1)
-        g_new = 1.0 / self.resistance + directions * g_step
-        if self.config.write_noise > 0:
-            g_new = g_new + self._rng.normal(
-                0.0, self.config.write_noise * g_step, size=self.shape
-            )
+        noise = (
+            self._rng.normal(0.0, self.config.write_noise * g_step, size=self.shape)
+            if self.config.write_noise > 0
+            else None
+        )
         lo, hi = self.aged_bounds()
-        # Convert back to resistance; keep conductance positive first.
-        g_new = np.maximum(g_new, 1.0 / np.maximum(hi, 1.0))
-        stepped = np.clip(1.0 / g_new, lo, hi)
-        self.resistance = np.where(select, stepped, self.resistance)
-        return self.resistance.copy()
+        if vectorized_enabled():
+            g_new = 1.0 / self.resistance + directions * g_step
+            if noise is not None:
+                g_new = g_new + noise
+            # Convert back to resistance; keep conductance positive first.
+            g_new = np.maximum(g_new, 1.0 / np.maximum(hi, 1.0))
+            stepped = np.clip(1.0 / g_new, lo, hi)
+            self.resistance = np.where(select, stepped, self.resistance)
+            return select
+        # Reference implementation: one device at a time.  min/max/clip
+        # and +-*/ are elementwise-exact, so each device's value equals
+        # the vectorized result bit for bit; unselected devices keep
+        # their resistance, exactly like the masked np.where above.
+        res = self.resistance
+        out = res.copy()
+        for i in range(self.rows):
+            for j in range(self.cols):
+                if not select[i, j]:
+                    continue
+                g = 1.0 / res[i, j] + directions[i, j] * g_step
+                if noise is not None:
+                    g = g + noise[i, j]
+                g = max(g, 1.0 / max(hi[i, j], 1.0))
+                out[i, j] = min(max(1.0 / g, lo[i, j]), hi[i, j])
+        self.resistance = out
+        return select
+
+    def program_pulses(
+        self, mask: np.ndarray, polarity: np.ndarray, fraction: float = 0.5
+    ) -> int:
+        """Batched tuning-pulse path: trusted-input :meth:`step_conductance`.
+
+        ``mask`` is the boolean pulse-selection mask and ``polarity``
+        the signed direction array; the caller must guarantee
+        ``mask == (polarity != 0)`` (the tuning sweep derives the mask
+        from the thresholded sign matrix, so this holds by
+        construction).  Skips the per-call ``isin`` validation and the
+        achieved-resistance return copy of the scalar path; every draw
+        and every arithmetic operation is otherwise identical, which is
+        what makes the vectorized tuner bit-identical to the
+        ``REPRO_SCALAR_TUNER`` reference.  Returns the number of pulses
+        that actually fired (post pulse-miss, post dead-mask).
+        """
+        return int(np.count_nonzero(self._pulse_impl(polarity, mask, fraction)))
 
     def apply_drift(self, magnitude: float, rng: SeedLike = None) -> np.ndarray:
         """Conductance drift from repeated reading (paper's ref [8]).

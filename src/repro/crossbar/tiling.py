@@ -169,6 +169,42 @@ class TiledMatrix:
             tile.step_conductance(directions[rs, cs], fraction=fraction)
         return self.resistances()
 
+    def program_pulses(
+        self, mask: np.ndarray, polarity: np.ndarray, fraction: float = 0.5
+    ) -> int:
+        """Batched tuning pulses over the logical matrix.
+
+        The bit-identical fast sibling of :meth:`step_conductance`
+        (see :meth:`Crossbar.program_pulses`): tiles are visited in
+        :meth:`iter_tiles` order so every tile's RNG stream advances
+        exactly as on the scalar path, but no logical resistance matrix
+        is assembled and no per-tile validation pass runs.  Returns the
+        total number of pulses that actually fired.
+        """
+        if mask.shape != self.shape:
+            raise ShapeError(f"mask shape {mask.shape} != logical {self.shape}")
+        applied = 0
+        for rs, cs, tile in self.iter_tiles():
+            applied += tile.program_pulses(
+                mask[rs, cs], polarity[rs, cs], fraction=fraction
+            )
+        return applied
+
+    def program_targets(self, targets: np.ndarray, only_changed: bool = True) -> int:
+        """Batched programming over the logical matrix.
+
+        Bit-identical to :meth:`program` but skips assembling the
+        logical achieved-resistance matrix that batch callers discard.
+        Returns the total number of devices that received a pulse.
+        """
+        targets = np.asarray(targets, dtype=np.float64)
+        if targets.shape != self.shape:
+            raise ShapeError(f"targets shape {targets.shape} != logical {self.shape}")
+        applied = 0
+        for rs, cs, tile in self.iter_tiles():
+            applied += tile.program_targets(targets[rs, cs], only_changed=only_changed)
+        return applied
+
     def apply_drift(self, magnitude: float) -> np.ndarray:
         """Apply read-disturb drift to every tile (see Crossbar.apply_drift)."""
         for _rs, _cs, tile in self.iter_tiles():

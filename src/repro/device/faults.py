@@ -93,6 +93,9 @@ def inject_faults(
     # The resistance assignments above already bumped the state version;
     # mark again so the stress-time pinning (which changes aged windows,
     # hence future quantization) is its own visible state transition.
+    # mark_state_dirty bumps the stress version too, dropping the cached
+    # aged-bounds/dead-mask arrays (DESIGN.md §11) that the in-place
+    # stress_time edit above would otherwise leave stale.
     crossbar.mark_state_dirty()
     return stuck_lrs, stuck_hrs
 

@@ -27,10 +27,13 @@ still enters through the *device* arrays.
 from __future__ import annotations
 
 import copy
-from typing import Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.fastpath import vectorized_enabled
+from repro.core.kernels import cache_enabled
 from repro.core.profiling import PROFILER
 from repro.crossbar.tiling import TiledMatrix
 from repro.crossbar.tracer import BlockTracer
@@ -184,11 +187,21 @@ class MappedLayer:
         return np.asarray(mapping.resistance_to_weight(self._to_logical(achieved)))
 
     def program(self) -> None:
-        """Program the software weights into the tiles (ages devices)."""
+        """Program the software weights into the tiles (ages devices).
+
+        On the vectorized path the whole layer is programmed through
+        the batched :meth:`~repro.crossbar.tiling.TiledMatrix.program_targets`
+        entry point (no logical result assembly) and the pulse count is
+        recorded under the ``programming.batched`` perf counter.
+        """
         if self.mapping is None:
             raise ConfigurationError("set_range must be called before program")
         targets = np.asarray(self.mapping.weight_to_resistance(self.software_matrix()))
-        self.tiles.program(self._to_physical(targets))
+        if vectorized_enabled():
+            applied = self.tiles.program_targets(self._to_physical(targets))
+            PROFILER.increment("programming.batched", applied)
+        else:
+            self.tiles.program(self._to_physical(targets))
 
     # -- hardware side -------------------------------------------------------
     def hardware_matrix(self) -> np.ndarray:
@@ -245,7 +258,17 @@ class MappedLayer:
             return 0
         directions = (-np.sign(weight_grad)).astype(np.int64)
         directions[np.abs(weight_grad) < threshold * scale] = 0
-        self.tiles.step_conductance(self._to_physical(directions), fraction=step_fraction)
+        physical = self._to_physical(directions)
+        if vectorized_enabled():
+            # Batched pulse path: mask == (polarity != 0) by
+            # construction, so this is bit-identical to the scalar
+            # step_conductance sweep (same draws, same arithmetic).
+            applied = self.tiles.program_pulses(
+                physical != 0, physical, fraction=step_fraction
+            )
+            PROFILER.increment("tuning.batched_pulses", applied)
+        else:
+            self.tiles.step_conductance(physical, fraction=step_fraction)
         return int(np.count_nonzero(directions))
 
     def dead_device_mask(self) -> np.ndarray:
@@ -308,6 +331,13 @@ class MappedNetwork:
         # gradients (the paper's online tuning minimizes the plain cost
         # on the mapped network).
         self._scratch.set_regularizers(None)
+        # Read-reuse scope state (DESIGN.md §11): inside a
+        # :meth:`read_reuse` scope, noise-free hardware reads are
+        # memoized per aggregate tile state version and the software
+        # weight snapshot is captured once instead of per install.
+        self._reuse_depth = 0
+        self._scratch_holds: Optional[Tuple[int, ...]] = None
+        self._software_snapshot: Optional[List[Dict[str, np.ndarray]]] = None
 
     # -- mapping --------------------------------------------------------
     def map_network(
@@ -347,9 +377,60 @@ class MappedNetwork:
             mapped.program()
 
     # -- hardware inference -----------------------------------------------
+    @contextmanager
+    def read_reuse(self) -> Iterator[None]:
+        """Scope in which hardware reads may be memoized (DESIGN.md §11).
+
+        The per-window map → tune → evaluate pipeline re-reads the same
+        unchanged device state many times (gradient evaluation, scoring,
+        window metrics).  Inside this scope — and only when the
+        vectorized path, value caching, and noise-free reads all hold —
+        :meth:`effective_model` reuses the scratch model as long as no
+        tile's state version moved, and :meth:`_install_matrices`
+        captures the software weight snapshot once instead of per call.
+        Results are bit-identical by construction: the memo key is the
+        same state-version counter that already guards the conductance
+        caches, and noisy reads (which draw RNG) are never memoized.
+
+        Scopes nest; all network-level caches are dropped when the
+        outermost scope exits, so state held here can never leak into
+        code that runs outside the hot loop.
+        """
+        self._reuse_depth += 1
+        try:
+            yield
+        finally:
+            self._reuse_depth -= 1
+            if self._reuse_depth == 0:
+                self._scratch_holds = None
+                self._software_snapshot = None
+
+    def _reads_deterministic(self) -> bool:
+        """True when hardware reads are noise-free (hence memoizable).
+
+        Noisy reads draw from the per-tile RNG streams; caching them
+        would both change values and desynchronize the streams, so any
+        read noise (global or per-tile fault-injected) disables reuse.
+        """
+        if self.device_config.read_noise > 0:
+            return False
+        for mapped in self.layers:
+            for _rs, _cs, tile in mapped.tiles.iter_tiles():
+                if tile.read_noise_extra > 0:
+                    return False
+        return True
+
     def _install_matrices(self, matrices: Dict[int, np.ndarray]) -> Sequential:
         """Scratch model with given device matrices, software elsewhere."""
-        snapshot = self.model.get_weights()
+        # Installing arbitrary matrices (e.g. candidate-scoring trials)
+        # invalidates any memoized hardware state in the scratch model.
+        self._scratch_holds = None
+        if self._reuse_depth > 0 and vectorized_enabled() and cache_enabled():
+            if self._software_snapshot is None:
+                self._software_snapshot = self.model.get_weights()
+            snapshot = self._software_snapshot
+        else:
+            snapshot = self.model.get_weights()
         self._scratch.set_weights(snapshot)
         for mapped in self.layers:
             if mapped.layer_index in matrices:
@@ -367,9 +448,29 @@ class MappedNetwork:
 
         Valid until the next call that mutates the scratch model; copy
         it (``clone_model``) to keep a snapshot.
+
+        Inside a :meth:`read_reuse` scope with deterministic reads, the
+        assembled scratch model is memoized against the per-layer tile
+        state versions: repeated calls between reprogramming events
+        (gradient evaluation followed by accuracy scoring, say) skip
+        the read → invert → install rebuild entirely.
         """
+        memoizable = (
+            self._reuse_depth > 0
+            and vectorized_enabled()
+            and cache_enabled()
+            and self._reads_deterministic()
+        )
+        if memoizable:
+            key = tuple(m.tiles.state_version for m in self.layers)
+            if self._scratch_holds == key:
+                PROFILER.increment("network.effective_model_reuse")
+                return self._scratch
         matrices = {m.layer_index: m.hardware_matrix() for m in self.layers}
-        return self._install_matrices(matrices)
+        model = self._install_matrices(matrices)
+        if memoizable:
+            self._scratch_holds = key
+        return model
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, float]:
         """``(loss, accuracy)`` of the hardware-mapped network."""
@@ -402,6 +503,32 @@ class MappedNetwork:
                 else grad_kernel.reshape(grad_kernel.shape[0], -1).T.copy()
             )
         return out
+
+    def apply_tuning_sweep(
+        self,
+        grads: Dict[int, np.ndarray],
+        threshold: float,
+        step_fraction: float,
+        mask_dead: bool = False,
+    ) -> int:
+        """One whole-network Eq. (5) sweep from per-layer gradients.
+
+        The network-level entry point of the batched tuning path:
+        per-layer dead masking, sign/threshold decisions, and pulse
+        application all run as array ops (``program_pulses`` per tile
+        under the vectorized path, ``step_conductance`` otherwise —
+        identical arithmetic either way).  Returns the number of
+        above-threshold devices summed over layers.
+        """
+        pulsed = 0
+        for mapped in self.layers:
+            grad = grads[mapped.layer_index]
+            if mask_dead:
+                dead = mapped.dead_device_mask()
+                if dead.any():
+                    grad = np.where(dead, 0.0, grad)
+            pulsed += mapped.apply_gradient_signs(grad, threshold, step_fraction)
+        return pulsed
 
     # -- aging bookkeeping ---------------------------------------------------
     def total_pulses(self) -> int:

@@ -27,6 +27,13 @@ Composition with the aging model is deliberate, not incidental:
 * ``pulse_miss`` events set the probability that a programming/tuning
   pulse silently fails to fire from their window on (the device neither
   moves nor ages on a missed pulse).
+
+Every knob composes identically with both pulse paths (DESIGN.md §11):
+the miss draw and the dead-device skip are folded into the same masked
+update whether the sweep runs vectorized or through the
+``REPRO_SCALAR_TUNER`` per-device reference, so a faulted run is
+bit-identical across paths — the equivalence battery drives these
+hooks explicitly.
 """
 
 from __future__ import annotations

@@ -18,15 +18,30 @@ iteration count.
 Tuning stops when the target accuracy is reached (converged) or the
 iteration budget is exhausted (the lifetime engine treats a budget
 overrun as end-of-life).
+
+The sweep itself has two implementations (DESIGN.md §11).  By default
+each iteration runs **batched**: sign/threshold/dead-mask decisions for
+every layer are computed as whole-array ops and applied through the
+crossbars' ``program_pulses(mask, polarity)`` entry point, with the
+per-pulse aging accrual and any ``pulse_miss``/stuck-at fault hooks
+folded into the same masked update — so the RNG streams and state
+version bumps are exactly those of the reference path.  Setting
+``REPRO_SCALAR_TUNER=1`` (or calling
+:func:`repro.core.fastpath.set_vectorized_enabled` with ``False``)
+selects the original scalar ``step_conductance`` sweep, kept as the
+oracle that ``tests/tuning/test_tuner_equivalence.py`` diffs the
+batched path against bit for bit.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
+from repro.core.fastpath import vectorized_enabled
 from repro.core.profiling import PROFILER
 from repro.exceptions import ConfigurationError
 from repro.mapping.network import MappedNetwork
@@ -148,9 +163,14 @@ class OnlineTuner:
         random ``batch_size`` subsets.  Every sweep pulses the selected
         devices (aging them); evaluation itself applies no stress.
 
-        Batches flow through the mapped network's scratch-model forward
-        and backward passes and the crossbars' cached read paths as
-        whole arrays — no per-sample or per-row Python loop.
+        On the default vectorized path the whole session runs inside
+        the network's :meth:`~repro.mapping.network.MappedNetwork.read_reuse`
+        scope (hardware reads between sweeps are memoized) and each
+        sweep goes through ``apply_tuning_sweep`` → batched
+        ``program_pulses``.  With ``REPRO_SCALAR_TUNER`` set, the
+        original per-layer ``step_conductance`` sweep runs instead;
+        both paths produce bit-identical conductances, pulse counts and
+        RNG states.
         """
         PROFILER.increment("tuning.sessions")
         with PROFILER.timer("tuning.session"):
@@ -171,6 +191,22 @@ class OnlineTuner:
         if len(x_tune) != len(y_tune):
             raise ConfigurationError("x_tune and y_tune lengths differ")
 
+        # Batched network-level sweep where the network offers one
+        # (differential networks tune per layer either way); read-reuse
+        # scope where available — both no-ops on the scalar path.
+        use_batched = vectorized_enabled() and hasattr(network, "apply_tuning_sweep")
+        reuse = network.read_reuse() if hasattr(network, "read_reuse") else nullcontext()
+        with reuse:
+            return self._tune_loop(network, x_tune, y_tune, use_batched)
+
+    def _tune_loop(
+        self,
+        network: MappedNetwork,
+        x_tune: np.ndarray,
+        y_tune: np.ndarray,
+        use_batched: bool,
+    ) -> TuningResult:
+        cfg = self.config
         initial = network.score(x_tune, y_tune)
         best = initial
         trace = [initial]
@@ -186,13 +222,23 @@ class OnlineTuner:
         for iteration in range(1, cfg.max_iterations + 1):
             idx = self._rng.choice(len(x_tune), size=min(cfg.batch_size, len(x_tune)), replace=False)
             grads = network.gradient_sign_matrices(x_tune[idx], y_tune[idx])
-            for mapped in network.layers:
-                grad = grads[mapped.layer_index]
-                if cfg.mask_dead_devices:
-                    dead = mapped.dead_device_mask()
-                    if dead.any():
-                        grad = np.where(dead, 0.0, grad)
-                mapped.apply_gradient_signs(grad, cfg.threshold, step_fraction)
+            if use_batched:
+                network.apply_tuning_sweep(
+                    grads,
+                    cfg.threshold,
+                    step_fraction,
+                    mask_dead=cfg.mask_dead_devices,
+                )
+            else:
+                # Scalar reference sweep (REPRO_SCALAR_TUNER), and the
+                # tuning path for networks without apply_tuning_sweep.
+                for mapped in network.layers:
+                    grad = grads[mapped.layer_index]
+                    if cfg.mask_dead_devices:
+                        dead = mapped.dead_device_mask()
+                        if dead.any():
+                            grad = np.where(dead, 0.0, grad)
+                    mapped.apply_gradient_signs(grad, cfg.threshold, step_fraction)
 
             if iteration % cfg.eval_every == 0 or iteration == cfg.max_iterations:
                 accuracy = network.score(x_tune, y_tune)

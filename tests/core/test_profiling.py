@@ -118,3 +118,51 @@ class TestGlobalRegistry:
     def test_module_global_exists(self):
         PROFILER.increment("test.profiling.global")
         assert PROFILER.counter("test.profiling.global") >= 1
+
+
+class TestVectorizedPathCounters:
+    def test_lifetime_window_pulse_counters_match_network_delta(
+        self, trained_mlp, blob_dataset
+    ):
+        """A profiled lifetime window reports the batched-path pulse
+        counters (ISSUE 6), and their sum accounts for every pulse the
+        network fired: ``programming.batched`` (map/remap programming)
+        plus ``tuning.batched_pulses`` (tuning sweeps) equals the
+        ``network.total_pulses()`` delta across the run."""
+        from repro.core.lifetime import LifetimeConfig, LifetimeSimulator
+        from repro.device import DeviceConfig
+        from repro.mapping import MappedNetwork
+        from repro.tuning import TuningConfig
+
+        # Coarse quantization keeps the mapped accuracy below target at
+        # every remap, so each window really runs tuning sweeps.
+        device = DeviceConfig(
+            n_levels=4, pulses_to_collapse=100, write_noise=0.1, read_noise=0.0
+        )
+        network = MappedNetwork(trained_mlp, device, seed=41)
+        network.map_network()
+        sim = LifetimeSimulator(
+            network,
+            blob_dataset.x_train[:96],
+            blob_dataset.y_train[:96],
+            config=LifetimeConfig(
+                apps_per_window=1000,
+                drift_magnitude=0.4,
+                max_windows=2,
+                tuning=TuningConfig(target_accuracy=0.99, max_iterations=10),
+            ),
+            seed=42,
+        )
+        pulses_before = network.total_pulses()
+        with PROFILER.capture() as delta:
+            sim.run("t+t")
+        pulses_delta = network.total_pulses() - pulses_before
+
+        assert pulses_delta > 0
+        assert "programming.batched" in delta.counters
+        assert "tuning.batched_pulses" in delta.counters
+        assert (
+            delta.counters["programming.batched"]
+            + delta.counters["tuning.batched_pulses"]
+            == pulses_delta
+        )

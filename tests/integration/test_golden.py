@@ -170,6 +170,83 @@ class TestGoldenComparison:
             atol=1e-9,
         )
 
+    def test_table1_miniature_scalar_tuner(self, request):
+        """The vectorized lifetime hot loop (ISSUE 6) must be invisible
+        too: the scalar reference path selected by REPRO_SCALAR_TUNER
+        hits the exact same snapshot as the default vectorized path."""
+        from repro.core import set_vectorized_enabled
+
+        prior = set_vectorized_enabled(False)
+        try:
+            comparison = _miniature_framework().compare()
+        finally:
+            set_vectorized_enabled(prior)
+        if request.config.getoption("--update-golden"):
+            pytest.skip("snapshot owned by test_table1_miniature")
+        _compare_golden(
+            request,
+            "compare_blobs",
+            _comparison_metrics(comparison),
+            rtol=1e-6,
+            atol=1e-9,
+        )
+
+
+# -- cross-path kill-and-resume (ISSUE 6) -------------------------------------
+class TestCrossPathResume:
+    """A checkpoint is path-agnostic: a snapshot written mid-run under
+    the scalar reference path must resume **bit-identically** under the
+    vectorized path (and match the uninterrupted vectorized run) — the
+    on-disk state contains everything, and the two paths walk the same
+    trajectory from any window boundary."""
+
+    def _make_sim(self, trained_mlp, device_config, blob_dataset):
+        from repro.core.lifetime import LifetimeSimulator
+        from repro.mapping import MappedNetwork
+
+        network = MappedNetwork(trained_mlp, device_config, seed=41)
+        network.map_network()
+        config = LifetimeConfig(
+            apps_per_window=1000,
+            drift_magnitude=0.05,
+            max_windows=4,
+            tuning=TuningConfig(target_accuracy=0.9, max_iterations=20),
+        )
+        return LifetimeSimulator(
+            network,
+            blob_dataset.x_train[:96],
+            blob_dataset.y_train[:96],
+            config=config,
+            seed=42,
+        )
+
+    def test_scalar_checkpoint_resumes_under_vectorized_path(
+        self, tmp_path, trained_mlp, device_config, blob_dataset
+    ):
+        from repro.core import set_vectorized_enabled
+        from repro.core.checkpoint import CheckpointManager
+        from repro.core.lifetime import LifetimeSimulator
+
+        # Reference: uninterrupted run on the default vectorized path.
+        plain = self._make_sim(trained_mlp, device_config, blob_dataset).run("t+t")
+
+        # Kill-side: a scalar-path run that checkpoints every window.
+        prior = set_vectorized_enabled(False)
+        try:
+            checkpointed = self._make_sim(
+                trained_mlp, device_config, blob_dataset
+            ).run("t+t", checkpoint_every=1, checkpoint_dir=tmp_path, run_id="x")
+        finally:
+            set_vectorized_enabled(prior)
+        assert checkpointed.to_dict() == plain.to_dict()
+
+        # Resume each scalar-written snapshot under the vectorized path.
+        for entry in CheckpointManager(tmp_path).entries():
+            resumed = LifetimeSimulator.resume(entry.path).run()
+            assert resumed.to_dict() == plain.to_dict(), (
+                f"cross-path resume at window {entry.window} diverged"
+            )
+
 
 # -- snapshot 2: the aged-window curves (pure math, Fig. 4 shape) -------------
 class TestGoldenAgingCurves:

@@ -1,0 +1,274 @@
+"""Equivalence battery: vectorized tuning path vs scalar reference.
+
+ISSUE 6's lock-down suite.  The vectorized lifetime hot loop
+(DESIGN.md §11) — batched ``program_pulses`` sweeps, read-reuse
+memoization, cached aged bounds — must be **bit-identical** to the
+scalar reference path selected by ``REPRO_SCALAR_TUNER``: same
+conductances, same pulse/stress bookkeeping, same RNG bit-generator
+states, same :class:`TuningResult` down to the accuracy trace.
+
+The property tests drive random configurations (network width, batch
+sizes beyond the tuning-set length, amplitude-halving edges,
+``pulse_miss``/stuck-at fault injections, dead-device masking, write
+noise on/off) through both paths and diff the complete end state.
+
+``HYPOTHESIS_PROFILE=smoke`` shrinks the example count for the CI
+kernel-bench smoke job; the default profile runs in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import fastpath
+from repro.core.fastpath import set_vectorized_enabled, vectorized_enabled
+from repro.data import make_blobs
+from repro.device import DeviceConfig
+from repro.device.faults import FaultModel, inject_faults_network
+from repro.mapping import MappedNetwork
+from repro.nn import Activation, Dense, Sequential
+from repro.tuning import OnlineTuner, TuningConfig
+
+MAX_EXAMPLES = 5 if os.environ.get("HYPOTHESIS_PROFILE") == "smoke" else 25
+
+_DATA = make_blobs(n_samples=96, n_classes=3, n_features=4, spread=0.8, seed=3)
+_X, _Y = _DATA.x_train[:64], _DATA.y_train[:64]
+
+_MODELS: dict = {}
+
+
+def _model(hidden: int):
+    """Deterministic tiny MLP, cached per width (weights are never
+    mutated by mapping/tuning — only the crossbar copies are)."""
+    if hidden not in _MODELS:
+        _MODELS[hidden] = Sequential(
+            [Dense(hidden), Activation("relu"), Dense(3)], seed=50 + hidden
+        ).build((4,))
+    return _MODELS[hidden]
+
+
+def _snapshot(network: MappedNetwork, tuner: OnlineTuner, result) -> dict:
+    """The complete observable end state of a tuning session."""
+    tiles = []
+    for layer in network.layers:
+        for _rs, _cs, tile in layer.tiles.iter_tiles():
+            tiles.append(
+                {
+                    "resistance": tile.resistance.copy(),
+                    "stress_time": tile.stress_time.copy(),
+                    "pulse_counts": tile.pulse_counts.copy(),
+                    "rng_state": tile._rng.bit_generator.state,
+                }
+            )
+    return {
+        "tiles": tiles,
+        "tuner_rng_state": tuner._rng.bit_generator.state,
+        "result": {
+            "converged": result.converged,
+            "iterations": result.iterations,
+            "final_accuracy": result.final_accuracy,
+            "initial_accuracy": result.initial_accuracy,
+            "pulses_applied": result.pulses_applied,
+            "accuracy_trace": list(result.accuracy_trace),
+        },
+        "total_pulses": network.total_pulses(),
+        "state_version": sum(
+            layer.tiles.state_version for layer in network.layers
+        ),
+    }
+
+
+def _assert_snapshots_equal(a: dict, b: dict) -> None:
+    assert a["result"] == b["result"]
+    assert a["tuner_rng_state"] == b["tuner_rng_state"]
+    assert a["total_pulses"] == b["total_pulses"]
+    assert a["state_version"] == b["state_version"]
+    assert len(a["tiles"]) == len(b["tiles"])
+    for ta, tb in zip(a["tiles"], b["tiles"]):
+        assert np.array_equal(ta["resistance"], tb["resistance"])
+        assert np.array_equal(ta["stress_time"], tb["stress_time"])
+        assert np.array_equal(ta["pulse_counts"], tb["pulse_counts"])
+        assert ta["rng_state"] == tb["rng_state"]
+
+
+def _run_session(vectorized: bool, params: dict) -> dict:
+    """One full map → degrade → tune session under one path."""
+    prior = set_vectorized_enabled(vectorized)
+    try:
+        device = DeviceConfig(
+            n_levels=6,
+            pulses_to_collapse=60,
+            write_noise=params["write_noise"],
+            read_noise=0.0,
+        )
+        network = MappedNetwork(
+            _model(params["hidden"]),
+            device,
+            seed=params["seed"],
+            tile_rows=4,
+            tile_cols=4,
+        )
+        network.map_network()
+        network.apply_drift(0.4)
+        if params["stuck_rate"] > 0:
+            inject_faults_network(
+                network,
+                FaultModel(
+                    rate_lrs=params["stuck_rate"] / 2,
+                    rate_hrs=params["stuck_rate"] / 2,
+                ),
+                seed=params["seed"] + 1,
+            )
+        if params["miss_rate"] > 0:
+            for layer in network.layers:
+                for _rs, _cs, tile in layer.tiles.iter_tiles():
+                    tile.pulse_miss_rate = params["miss_rate"]
+        tuner = OnlineTuner(
+            TuningConfig(
+                target_accuracy=0.999,
+                max_iterations=6,
+                batch_size=params["batch_size"],
+                threshold=params["threshold"],
+                decay_after=params["decay_after"],
+                min_step_fraction=0.05,
+                eval_every=params["eval_every"],
+                mask_dead_devices=params["mask_dead"],
+            ),
+            seed=params["seed"] + 2,
+        )
+        result = tuner.tune(network, _X, _Y)
+        return _snapshot(network, tuner, result)
+    finally:
+        set_vectorized_enabled(prior)
+
+
+class TestPathEquivalence:
+    """Vectorized and scalar paths end in bit-identical states."""
+
+    @given(
+        hidden=st.sampled_from([6, 10]),
+        batch_size=st.sampled_from([4, 16, 300]),
+        threshold=st.sampled_from([0.0, 0.05, 0.3]),
+        decay_after=st.sampled_from([0, 1]),
+        eval_every=st.sampled_from([1, 3]),
+        write_noise=st.sampled_from([0.0, 0.1]),
+        mask_dead=st.booleans(),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_clean_array_equivalence(
+        self, hidden, batch_size, threshold, decay_after, eval_every,
+        write_noise, mask_dead, seed,
+    ):
+        params = dict(
+            hidden=hidden,
+            batch_size=batch_size,
+            threshold=threshold,
+            decay_after=decay_after,
+            eval_every=eval_every,
+            write_noise=write_noise,
+            mask_dead=mask_dead,
+            seed=seed,
+            stuck_rate=0.0,
+            miss_rate=0.0,
+        )
+        _assert_snapshots_equal(
+            _run_session(True, params), _run_session(False, params)
+        )
+
+    @given(
+        miss_rate=st.sampled_from([0.0, 0.3]),
+        stuck_rate=st.sampled_from([0.0, 0.1]),
+        write_noise=st.sampled_from([0.0, 0.1]),
+        mask_dead=st.booleans(),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_faulted_array_equivalence(
+        self, miss_rate, stuck_rate, write_noise, mask_dead, seed
+    ):
+        """Pulse-miss and stuck-at hooks fold into the same masked
+        update on both paths: RNG draws and skip decisions line up."""
+        params = dict(
+            hidden=6,
+            batch_size=16,
+            threshold=0.05,
+            decay_after=2,
+            eval_every=1,
+            write_noise=write_noise,
+            mask_dead=mask_dead,
+            seed=seed,
+            stuck_rate=stuck_rate,
+            miss_rate=miss_rate,
+        )
+        _assert_snapshots_equal(
+            _run_session(True, params), _run_session(False, params)
+        )
+
+    def test_amplitude_halving_edge(self):
+        """decay_after=1 halves the amplitude on every stale eval all
+        the way to the min_step_fraction floor on both paths."""
+        params = dict(
+            hidden=6,
+            batch_size=8,
+            threshold=0.0,
+            decay_after=1,
+            eval_every=1,
+            write_noise=0.0,
+            mask_dead=False,
+            seed=99,
+            stuck_rate=0.0,
+            miss_rate=0.0,
+        )
+        _assert_snapshots_equal(
+            _run_session(True, params), _run_session(False, params)
+        )
+
+    def test_batch_larger_than_tuning_set(self):
+        """batch_size > len(x_tune) clamps to the set length; the
+        rng.choice draw shape must match on both paths."""
+        params = dict(
+            hidden=6,
+            batch_size=300,
+            threshold=0.05,
+            decay_after=0,
+            eval_every=2,
+            write_noise=0.1,
+            mask_dead=True,
+            seed=7,
+            stuck_rate=0.0,
+            miss_rate=0.0,
+        )
+        _assert_snapshots_equal(
+            _run_session(True, params), _run_session(False, params)
+        )
+
+
+class TestEnvironmentSwitch:
+    """The REPRO_SCALAR_TUNER env var selects the reference path."""
+
+    @pytest.mark.parametrize(
+        ("value", "expected"),
+        [("1", False), ("true", False), ("0", True), ("", True)],
+    )
+    def test_env_resolution(self, value, expected, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALAR_TUNER", value)
+        prior = fastpath._VECTORIZED
+        fastpath._VECTORIZED = None  # force a fresh env read
+        try:
+            assert vectorized_enabled() is expected
+        finally:
+            fastpath._VECTORIZED = prior
+
+    def test_set_returns_previous(self):
+        first = set_vectorized_enabled(False)
+        try:
+            assert vectorized_enabled() is False
+            assert set_vectorized_enabled(first) is False
+        finally:
+            set_vectorized_enabled(first)

@@ -37,6 +37,7 @@ from repro.core.executor import (
     RetryPolicy,
     Task,
     TaskOutcome,
+    adaptive_chunk_size,
     fingerprint,
 )
 from repro.core.fastpath import set_vectorized_enabled, vectorized_enabled
@@ -49,7 +50,13 @@ from repro.core.kernels import (
 )
 from repro.core.lifetime import LifetimeConfig, LifetimeSimulator
 from repro.core.profiling import PROFILER, PerfDelta, PerfRegistry
-from repro.core.presets import PRESETS, ExperimentPreset, lenet_glyphs, vggnet_shapes
+from repro.core.presets import (
+    PRESETS,
+    ExperimentPreset,
+    blobs_mini,
+    lenet_glyphs,
+    vggnet_shapes,
+)
 from repro.core.results import LifetimeResult, ScenarioComparison, WindowRecord
 from repro.core.scenarios import SCENARIOS, Scenario
 from repro.core.sweep import Sweep, SweepPoint, SweepResult
@@ -82,6 +89,8 @@ __all__ = [
     "Task",
     "TaskOutcome",
     "WindowRecord",
+    "adaptive_chunk_size",
+    "blobs_mini",
     "cache_enabled",
     "fingerprint",
     "inspect_checkpoint",

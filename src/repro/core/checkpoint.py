@@ -468,6 +468,15 @@ class RunJournal:
     (``dropped_lines`` counts them) — every intact line before it is
     still honored.  Appends are flushed and fsync'd line-by-line, so a
     completed point survives any later crash.
+
+    The journal is also the shared completion ledger of the campaign
+    service: any number of worker processes (or hosts, over a shared
+    filesystem) append to one file.  :meth:`record` serializes writers
+    through an advisory file lock and re-scans for the key before
+    appending, so every point lands in the file **exactly once** even
+    when two workers race to finish it; :meth:`refresh` incrementally
+    picks up lines appended by other processes (tracking a byte offset,
+    so a refresh after *n* new points reads only those *n* lines).
     """
 
     def __init__(self, path, resume: bool = True) -> None:
@@ -478,9 +487,16 @@ class RunJournal:
         self.dropped_lines = 0
         #: Points served from the journal by the executor this run.
         self.skipped = 0
+        #: Bytes of the file already parsed (complete lines only).
+        self._offset = 0
+        self._lineno = 0
+        #: An incomplete tail was already counted as dropped; a writer
+        #: mid-append looks identical to a crash artifact, so the tail
+        #: is counted once and re-examined (not re-counted) on refresh.
+        self._torn_counted = False
         if self.path.exists():
             if resume:
-                self._load()
+                self._scan(count_torn_tail=True)
             else:
                 self.path.unlink()
 
@@ -489,29 +505,78 @@ class RunJournal:
         blob = json.dumps([key, payload], sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
-    def _load(self) -> None:
-        with open(self.path, "r") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    doc = json.loads(line)
-                    if doc.get("schema") != JOURNAL_SCHEMA:
-                        raise ValueError(f"unknown schema {doc.get('schema')!r}")
-                    key, payload = doc["key"], doc["payload"]
-                    if self._line_digest(key, payload) != doc.get("sha256"):
-                        raise ValueError("line digest mismatch")
-                except Exception as exc:
-                    self.dropped_lines += 1
-                    logger.warning(
-                        "journal %s: dropping corrupt line %d (%s)",
-                        self.path.name,
-                        lineno,
-                        exc,
-                    )
-                    continue
-                self.entries[key] = payload
+    def _parse_line(self, raw: bytes) -> Optional[tuple]:
+        line = raw.strip()
+        if not line:
+            return None
+        self._lineno += 1
+        try:
+            doc = json.loads(line)
+            if doc.get("schema") != JOURNAL_SCHEMA:
+                raise ValueError(f"unknown schema {doc.get('schema')!r}")
+            key, payload = doc["key"], doc["payload"]
+            if self._line_digest(key, payload) != doc.get("sha256"):
+                raise ValueError("line digest mismatch")
+        except Exception as exc:
+            if self._torn_counted:
+                # The once-torn tail got terminated by a later writer's
+                # fresh-line newline; it was already counted at load.
+                self._torn_counted = False
+            else:
+                self.dropped_lines += 1
+                logger.warning(
+                    "journal %s: dropping corrupt line %d (%s)",
+                    self.path.name,
+                    self._lineno,
+                    exc,
+                )
+            return None
+        if self._torn_counted:
+            # The "torn tail" counted at load was a live writer's
+            # in-flight append that has since completed: roll back the
+            # provisional drop.
+            self._torn_counted = False
+            self.dropped_lines -= 1
+        return key, payload
+
+    def _scan(self, count_torn_tail: bool = False) -> int:
+        """Parse complete lines from the stored offset; returns #new keys.
+
+        A trailing line with no newline is left unconsumed (the offset
+        stays at its start): it is either a crash artifact — counted as
+        dropped once when ``count_torn_tail`` — or another worker's
+        in-flight append, completed by the time of the next scan.
+        """
+        if not self.path.exists():
+            return 0
+        new = 0
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    if count_torn_tail and not self._torn_counted:
+                        self._torn_counted = True
+                        self.dropped_lines += 1
+                        logger.warning(
+                            "journal %s: dropping truncated tail line "
+                            "(crash mid-append)",
+                            self.path.name,
+                        )
+                    break
+                self._offset += len(raw)
+                parsed = self._parse_line(raw)
+                if parsed is not None and parsed[0] not in self.entries:
+                    self.entries[parsed[0]] = parsed[1]
+                    new += 1
+        return new
+
+    def refresh(self) -> int:
+        """Pick up entries appended by other processes since the last scan.
+
+        Cheap enough for per-point polling: reads only bytes beyond the
+        consumed offset.  Returns the number of new keys.
+        """
+        return self._scan(count_torn_tail=False)
 
     def __contains__(self, key: object) -> bool:
         return key in self.entries
@@ -523,7 +588,13 @@ class RunJournal:
         return self.entries[key]
 
     def record(self, key: str, payload: Any) -> None:
-        """Durably append one completed point (idempotent per key)."""
+        """Durably append one completed point (idempotent per key).
+
+        Idempotence holds across *processes*: the append happens under
+        an advisory file lock, after a re-scan for concurrently written
+        lines, so racing workers produce one line per key — first
+        writer wins, exactly as within a single process.
+        """
         if key in self.entries:
             return
         line = json.dumps(
@@ -536,18 +607,25 @@ class RunJournal:
             sort_keys=True,
             separators=(",", ":"),
         )
-        # A crash mid-append leaves a torn final line with no newline;
-        # appending straight after it would weld this record onto the
-        # garbage and lose BOTH lines.  Start a fresh line instead.
-        torn_tail = False
-        if self.path.exists() and self.path.stat().st_size:
-            with open(self.path, "rb") as tail:
-                tail.seek(-1, os.SEEK_END)
-                torn_tail = tail.read(1) != b"\n"
-        with open(self.path, "a") as handle:
-            if torn_tail:
-                handle.write("\n")
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        from repro.io import file_lock
+
+        with file_lock(self.path.with_name(self.path.name + ".lock")):
+            self._scan(count_torn_tail=False)
+            if key in self.entries:
+                return
+            # A crash mid-append leaves a torn final line with no
+            # newline; appending straight after it would weld this
+            # record onto the garbage and lose BOTH lines.  Start a
+            # fresh line instead.
+            torn_tail = False
+            if self.path.exists() and self.path.stat().st_size:
+                with open(self.path, "rb") as tail:
+                    tail.seek(-1, os.SEEK_END)
+                    torn_tail = tail.read(1) != b"\n"
+            with open(self.path, "a") as handle:
+                if torn_tail:
+                    handle.write("\n")
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
         self.entries[key] = payload

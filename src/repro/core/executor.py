@@ -223,11 +223,23 @@ class RetryPolicy:
     a retried success is bit-identical to a first-attempt success —
     retrying can only recover *transient* infrastructure failures
     (OOM-killed worker, flaky filesystem), never change a result.
+
+    ``jitter`` (a fraction in ``[0, 1]``) spreads the delays of
+    simultaneous retriers: the backoff is scaled by a factor drawn
+    deterministically from ``(jitter_seed, token, failures)``, landing
+    in ``[1 - jitter, 1]`` of the nominal delay.  Give each worker of a
+    fleet a distinct ``jitter_seed`` (or pass a per-worker ``token`` to
+    :meth:`delay`) so a shared-cache hiccup does not make every worker
+    retry in lock-step — the thundering herd that knocked the cache
+    over in the first place.  The schedule stays fully deterministic:
+    the same (seed, token, failure count) always yields the same delay.
     """
 
     max_retries: int = 2
     backoff_base: float = 0.1
     backoff_max: float = 5.0
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -236,12 +248,28 @@ class RetryPolicy:
             )
         if self.backoff_base < 0 or self.backoff_max < 0:
             raise ConfigurationError("backoff delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
 
-    def delay(self, failures: int) -> float:
-        """Backoff before the retry following the ``failures``-th failure."""
+    def _jitter_factor(self, failures: int, token: Optional[str]) -> float:
+        blob = f"{self.jitter_seed}/{token}/{failures}".encode("utf-8")
+        unit = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") / 2.0**64
+        return 1.0 - self.jitter * unit
+
+    def delay(self, failures: int, token: Optional[str] = None) -> float:
+        """Backoff before the retry following the ``failures``-th failure.
+
+        ``token`` (e.g. a worker id or task key) decorrelates the jitter
+        of concurrent retriers without sacrificing determinism.
+        """
         if failures < 1:
             return 0.0
-        return min(self.backoff_max, self.backoff_base * (2.0 ** (failures - 1)))
+        base = min(self.backoff_max, self.backoff_base * (2.0 ** (failures - 1)))
+        if self.jitter <= 0.0 or base <= 0.0:
+            return base
+        return base * self._jitter_factor(failures, token)
 
 
 # -- tasks --------------------------------------------------------------------
@@ -301,6 +329,54 @@ def _invoke_payload(payload: bytes) -> bytes:
     return _serializer.dumps(fn(*args, **kwargs))
 
 
+def adaptive_chunk_size(
+    n_tasks: int,
+    workers: int,
+    oversubscribe: int = 4,
+    max_chunk: int = 32,
+) -> int:
+    """Tasks per pool submission for an ``n_tasks``-point fan-out.
+
+    One future per task pays serialization + IPC + scheduling per
+    *point*; for large grids of short points that overhead eats the
+    parallel win (BENCH_campaign's historical 0.99x).  Chunking
+    amortizes it while still leaving each worker ``oversubscribe``
+    chunks on average, so the tail of an uneven grid stays balanced.
+    Small grids degrade to one point per task — exactly the historical
+    behaviour.
+    """
+    if n_tasks <= 0:
+        return 1
+    per_worker = max(1, workers) * max(1, oversubscribe)
+    return max(1, min(max_chunk, -(-n_tasks // per_worker)))
+
+
+def _run_task_chunk(blobs: List[bytes]) -> list:
+    """Worker-side trampoline for a *chunk* of tasks.
+
+    Runs each serialized ``(fn, args, kwargs)`` payload in order and
+    captures per-task failures, so one raising task cannot poison its
+    chunk-mates.  Returns ``(True, value)`` or ``(False, exception,
+    traceback_text)`` per task; exceptions that refuse to serialize are
+    downgraded to a ``RuntimeError`` carrying their repr, keeping the
+    chunk result transportable.
+    """
+    out: list = []
+    for blob in blobs:
+        fn, args, kwargs = _serializer.loads(blob)
+        try:
+            out.append((True, fn(*args, **kwargs)))
+        except Exception as exc:
+            text = traceback.format_exc(limit=8)
+            exc.__traceback__ = None  # frames are not transportable
+            try:
+                _serializer.dumps(exc)
+            except Exception:
+                exc = RuntimeError(f"unserializable task exception: {exc!r}")
+            out.append((False, exc, text))
+    return out
+
+
 # -- the executor -------------------------------------------------------------
 class ParallelExecutor:
     """Run tasks serially or across processes, with identical results.
@@ -319,6 +395,15 @@ class ParallelExecutor:
     triggers pool reconstruction — bounded by ``max_pool_rebuilds`` —
     and the unaffected in-flight tasks are resubmitted without
     consuming one of their retries.
+
+    ``chunk_size`` groups tasks into one pool submission each
+    (``None`` picks :func:`adaptive_chunk_size` automatically, ``1``
+    forces the historical one-future-per-task behaviour).  Chunking
+    only changes *scheduling*: every task still runs the same function
+    with the same derivation-based randomness, so chunked results are
+    bit-identical to unchunked and serial ones.  A per-task timeout
+    inside a chunk becomes a chunk-level budget (the sum over its
+    tasks), since a chunk is the smallest preemptible unit.
     """
 
     def __init__(
@@ -329,6 +414,7 @@ class ParallelExecutor:
         task_timeout: Optional[float] = None,
         max_pool_rebuilds: int = 3,
         journal: Optional["RunJournal"] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
@@ -340,11 +426,16 @@ class ParallelExecutor:
             raise ConfigurationError(
                 f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
             )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1 (or None for auto), got {chunk_size}"
+            )
         self.workers = int(workers)
         self.cache = cache
         self.retry = retry
         self.task_timeout = task_timeout
         self.max_pool_rebuilds = int(max_pool_rebuilds)
+        self.chunk_size = chunk_size
         #: Optional :class:`repro.core.checkpoint.RunJournal`.  Tasks
         #: whose journal key (``Task.journal_key`` or ``cache_key``) is
         #: already journaled are replayed without executing; completed
@@ -420,9 +511,33 @@ class ParallelExecutor:
         payload = task.encode(value) if task.encode else value
         self.journal.record(journal_key, payload)
 
+    def _journal_replay(self, task: Task) -> Optional[TaskOutcome]:
+        """Re-check the (refreshed) journal for a concurrently completed task.
+
+        The journal is shared state: with several executor processes
+        draining the same grid, a sibling may have completed and
+        journaled a point after this run() started.  Re-checking before
+        executing turns the journal into a coarse work-sharing channel —
+        late joiners skip instead of recomputing.
+        """
+        journal_key = self._journal_key(task)
+        if journal_key is None:
+            return None
+        self.journal.refresh()
+        if journal_key not in self.journal:
+            return None
+        payload = self.journal.get(journal_key)
+        value = task.decode(payload) if task.decode else payload
+        self.journal.skipped += 1
+        return TaskOutcome(task.key, value=value, journaled=True)
+
     def _run_serial(self, tasks, pending, outcomes, reraise) -> None:
         for idx in pending:
             task = tasks[idx]
+            replayed = self._journal_replay(task)
+            if replayed is not None:
+                outcomes[idx] = replayed
+                continue
             start = time.perf_counter()
             for attempt in range(1, self._max_attempts + 1):
                 try:
@@ -443,7 +558,7 @@ class ParallelExecutor:
                             attempt,
                             self._max_attempts,
                         )
-                        time.sleep(self.retry.delay(attempt))
+                        time.sleep(self.retry.delay(attempt, token=task.key))
                         continue
                     if reraise:
                         raise
@@ -571,10 +686,67 @@ class ParallelExecutor:
                 )
         return results, pool, rebuilds_left
 
+    def _round_chunk_size(self, n_todo: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return adaptive_chunk_size(n_todo, self.workers)
+
+    def _chunk_task(self, tasks, idxs: List[int]) -> Task:
+        """Synthetic task wrapping a chunk of real tasks for one submission.
+
+        The chunk timeout is the sum of the members' effective timeouts
+        (``None`` as soon as any member is unbounded): the chunk is the
+        smallest unit a hung worker can be reclaimed at.
+        """
+        blobs = [
+            _serializer.dumps((tasks[i].fn, tasks[i].args, tasks[i].kwargs))
+            for i in idxs
+        ]
+        timeout: Optional[float] = 0.0
+        for i in idxs:
+            member = self._effective_timeout(tasks[i])
+            if member is None:
+                timeout = None
+                break
+            timeout += member
+        return Task(
+            key=f"chunk[{tasks[idxs[0]].key}..{tasks[idxs[-1]].key}]",
+            fn=_run_task_chunk,
+            args=(blobs,),
+            timeout=timeout,
+        )
+
+    def _run_chunked_round(self, tasks, todo, pool, rebuilds_left):
+        """One attempt for every task in ``todo``, chunked submissions.
+
+        Expands the chunk-level results of :meth:`_run_round` back to
+        per-task ``(ok, payload)`` / ``(False, exc, text)`` entries.  A
+        transport-level chunk failure (broken pool after rebuild budget,
+        chunk timeout) charges every member of the chunk.
+        """
+        size = self._round_chunk_size(len(todo))
+        if size <= 1:
+            return self._run_round(tasks, todo, pool, rebuilds_left)
+        chunks = [todo[i:i + size] for i in range(0, len(todo), size)]
+        meta = [self._chunk_task(tasks, chunk) for chunk in chunks]
+        raw, pool, rebuilds_left = self._run_round(
+            meta, list(range(len(meta))), pool, rebuilds_left
+        )
+        results: Dict[int, Tuple] = {}
+        for ci, chunk in enumerate(chunks):
+            ok, payload = raw[ci]
+            if ok:
+                for idx, entry in zip(chunk, payload):
+                    results[idx] = tuple(entry)
+            else:
+                for idx in chunk:
+                    results[idx] = (False, payload)
+        return results, pool, rebuilds_left
+
     def _run_parallel(self, tasks, pending, outcomes, reraise) -> None:
         start = time.perf_counter()
         todo = list(pending)
-        failures: Dict[int, BaseException] = {}
+        failures: Dict[int, Tuple[BaseException, Optional[str]]] = {}
         attempts = {idx: 0 for idx in pending}
         pool = self._make_pool(len(pending))
         rebuilds_left = self.max_pool_rebuilds
@@ -583,21 +755,34 @@ class ParallelExecutor:
             while todo:
                 if round_no > 1:
                     time.sleep(self.retry.delay(round_no - 1))
-                results, pool, rebuilds_left = self._run_round(
+                if self.journal is not None:
+                    # Round-granularity work sharing: drop tasks a
+                    # sibling executor journaled since the last round.
+                    still: List[int] = []
+                    for idx in todo:
+                        replayed = self._journal_replay(tasks[idx])
+                        if replayed is not None:
+                            outcomes[idx] = replayed
+                        else:
+                            still.append(idx)
+                    todo = still
+                    if not todo:
+                        break
+                results, pool, rebuilds_left = self._run_chunked_round(
                     tasks, todo, pool, rebuilds_left
                 )
                 retry_next: List[int] = []
                 for idx in todo:
                     attempts[idx] += 1
-                    ok, payload = results[idx]
-                    if ok:
+                    entry = results[idx]
+                    if entry[0]:
                         outcomes[idx] = TaskOutcome(
                             tasks[idx].key,
-                            value=payload,
+                            value=entry[1],
                             seconds=time.perf_counter() - start,
                             attempts=attempts[idx],
                         )
-                        self._journal_record(tasks[idx], payload)
+                        self._journal_record(tasks[idx], entry[1])
                     elif round_no < self._max_attempts:
                         logger.warning(
                             "task %r failed (attempt %d/%d); retrying",
@@ -607,7 +792,10 @@ class ParallelExecutor:
                         )
                         retry_next.append(idx)
                     else:
-                        failures[idx] = payload
+                        failures[idx] = (
+                            entry[1],
+                            entry[2] if len(entry) > 2 else None,
+                        )
                 todo = retry_next
                 round_no += 1
         finally:
@@ -616,10 +804,10 @@ class ParallelExecutor:
             # _run_round), so a graceful shutdown cannot block.
             pool.shutdown(wait=True, cancel_futures=True)
 
-        for idx, exc in failures.items():
+        for idx, (exc, chunk_text) in failures.items():
             if reraise:
                 raise exc
-            text = "".join(
+            text = chunk_text or "".join(
                 traceback.format_exception(type(exc), exc, exc.__traceback__)
             )
             outcomes[idx] = TaskOutcome(

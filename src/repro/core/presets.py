@@ -21,10 +21,11 @@ from repro.core.lifetime import LifetimeConfig
 from repro.data.dataset import Dataset
 from repro.data.glyphs import make_glyph_digits
 from repro.data.shapes import make_textured_shapes
+from repro.data.synthetic import make_blobs
 from repro.device.config import DeviceConfig
 from repro.nn.model import Sequential
 from repro.rng import SeedLike
-from repro.training.networks import build_lenet, build_vggnet
+from repro.training.networks import build_lenet, build_mlp, build_vggnet
 from repro.training.skewed import SkewedTrainingConfig
 from repro.training.trainer import TrainConfig
 from repro.tuning.online import TuningConfig
@@ -156,7 +157,73 @@ def vggnet_shapes(fast: bool = False) -> ExperimentPreset:
     )
 
 
+def blobs_mini(fast: bool = False) -> ExperimentPreset:
+    """Miniature MLP-on-blobs workload for service/bench smoke runs.
+
+    Matches the campaign benchmark's workload: lifetimes are seconds,
+    not minutes, so multi-worker service campaigns and CI smoke jobs
+    can drain real grids end-to-end.  ``fast=True`` shrinks the horizon
+    further for the test suite.
+    """
+    if fast:
+        cfg = FrameworkConfig(
+            device=DeviceConfig(pulses_to_collapse=30, write_noise=0.1),
+            train=TrainConfig(epochs=6),
+            skewed=SkewedTrainingConfig(
+                beta_scale=-1.0,
+                lambda1=0.05,
+                lambda2=1e-3,
+                pretrain=TrainConfig(epochs=6),
+                skew_epochs=4,
+            ),
+            lifetime=LifetimeConfig(
+                apps_per_window=1000,
+                max_windows=8,
+                tuning=TuningConfig(max_iterations=25),
+            ),
+            tune_samples=96,
+            target_fraction=0.9,
+        )
+        return ExperimentPreset(
+            name="blobs-mini-fast",
+            make_dataset=lambda: make_blobs(
+                n_samples=240, n_classes=3, n_features=6, spread=0.4, seed=3
+            ),
+            build_network=lambda seed: build_mlp(6, 3, hidden=(24,), seed=seed),
+            framework_config=cfg,
+            seed=7,
+        )
+    cfg = FrameworkConfig(
+        device=DeviceConfig(pulses_to_collapse=30, write_noise=0.1),
+        train=TrainConfig(epochs=15),
+        skewed=SkewedTrainingConfig(
+            beta_scale=-1.0,
+            lambda1=0.05,
+            lambda2=1e-3,
+            pretrain=TrainConfig(epochs=15),
+            skew_epochs=8,
+        ),
+        lifetime=LifetimeConfig(
+            apps_per_window=1000,
+            max_windows=30,
+            tuning=TuningConfig(max_iterations=40),
+        ),
+        tune_samples=160,
+        target_fraction=0.92,
+    )
+    return ExperimentPreset(
+        name="blobs-mini",
+        make_dataset=lambda: make_blobs(
+            n_samples=400, n_classes=3, n_features=6, spread=0.4, seed=3
+        ),
+        build_network=lambda seed: build_mlp(6, 3, hidden=(24,), seed=seed),
+        framework_config=cfg,
+        seed=7,
+    )
+
+
 PRESETS = {
+    "blobs-mini": blobs_mini,
     "lenet-glyphs": lenet_glyphs,
     "vggnet-shapes": vggnet_shapes,
 }

@@ -44,3 +44,7 @@ class DeviceError(ReproError, RuntimeError):
 
 class CheckpointError(ReproError, RuntimeError):
     """A checkpoint file is missing, corrupt, or from an unknown schema."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """A campaign-service operation failed (unknown job, bad spec, HTTP error)."""

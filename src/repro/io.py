@@ -12,10 +12,17 @@
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
-from typing import Any, Union
+import time
+from typing import Any, Iterator, Union
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback path
+    _fcntl = None
 
 import numpy as np
 
@@ -49,6 +56,61 @@ def save_json_atomic(payload: Any, path: PathLike, durable: bool = False) -> Non
     os.replace(tmp, path)
     if durable:
         _fsync_dir(path.parent)
+
+
+@contextlib.contextmanager
+def file_lock(path: PathLike, timeout: float = 30.0) -> Iterator[None]:
+    """Exclusive advisory lock guarding cross-process read-modify-write.
+
+    The multi-worker campaign service serializes journal appends and
+    lease-table updates through these locks.  On POSIX the lock is
+    ``flock`` on ``path`` itself (created empty if missing) — released
+    automatically when the holder dies, so a killed worker can never
+    wedge its fleet.  Elsewhere a best-effort ``O_CREAT|O_EXCL`` spin
+    lock is used, with ``timeout`` bounding the wait (a stale lock file
+    older than the timeout is broken rather than waited on forever).
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if _fcntl is None:  # pragma: no cover - platforms without fcntl
+        with _spin_lock(path, timeout):
+            yield
+        return
+    fd = os.open(path, os.O_RDWR | os.O_CREAT)
+    try:
+        _fcntl.flock(fd, _fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            _fcntl.flock(fd, _fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+
+@contextlib.contextmanager
+def _spin_lock(path: pathlib.Path, timeout: float):  # pragma: no cover
+    """``O_CREAT|O_EXCL`` fallback lock for platforms without ``flock``."""
+    spin = pathlib.Path(f"{path}.excl")
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            fd = os.open(spin, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.close(fd)
+            break
+        except FileExistsError:
+            if time.monotonic() > deadline:
+                try:  # break a stale lock left by a dead holder
+                    if time.time() - spin.stat().st_mtime > timeout:
+                        spin.unlink(missing_ok=True)
+                        continue
+                except OSError:
+                    pass
+                raise TimeoutError(f"could not acquire lock {spin}")
+            time.sleep(0.01)
+    try:
+        yield
+    finally:
+        spin.unlink(missing_ok=True)
 
 
 def _fsync_dir(directory: pathlib.Path) -> None:

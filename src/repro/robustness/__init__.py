@@ -12,7 +12,12 @@ scenarios through the parallel executor, and
 accuracy-vs-fault-rate and lifetime-degradation curves.
 """
 
-from repro.robustness.campaign import CampaignPoint, FaultCampaign, build_grid
+from repro.robustness.campaign import (
+    CampaignPoint,
+    FaultCampaign,
+    build_grid,
+    record_from_result,
+)
 from repro.robustness.degradation import DegradationPolicy
 from repro.robustness.report import SurvivabilityRecord, SurvivabilityReport
 from repro.robustness.schedule import FaultEvent, FaultSchedule
@@ -26,4 +31,5 @@ __all__ = [
     "SurvivabilityRecord",
     "SurvivabilityReport",
     "build_grid",
+    "record_from_result",
 ]

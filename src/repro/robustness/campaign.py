@@ -93,6 +93,7 @@ class FaultCampaign:
         workers: int = 1,
         cache: Optional[ResultCache] = None,
         journal: Optional[RunJournal] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
@@ -103,17 +104,23 @@ class FaultCampaign:
         self.repeat = int(repeat)
         self.workers = int(workers)
         self.cache = cache
+        #: Points per pool submission in parallel mode (``None`` = auto
+        #: adaptive chunking, ``1`` = legacy one-future-per-point).
+        self.chunk_size = chunk_size
         #: Optional crash-safe journal: completed grid points are
         #: appended durably as they finish, and a re-launched campaign
         #: over the same journal re-executes zero of them.
         self.journal = journal
 
-    def _point_key(self, point: CampaignPoint) -> str:
+    def point_key(self, point: CampaignPoint) -> str:
         """Content-hash identity of one grid point (cache AND journal).
 
         The same fingerprint the :class:`ResultCache` uses, so journal
         replay obeys identical invalidation semantics: any change to the
         framework config, dataset, scenario or fault grid re-executes.
+        The campaign service leases and journals grid points under these
+        keys, which is what keeps service-drained campaigns idempotent
+        and bit-identical to serial runs.
         """
         extra = (
             None
@@ -125,7 +132,7 @@ class FaultCampaign:
     def _point_cache_key(self, point: CampaignPoint) -> Optional[str]:
         if self.cache is None:
             return None
-        return self._point_key(point)
+        return self.point_key(point)
 
     def run(self, points: Sequence[CampaignPoint]) -> SurvivabilityReport:
         """Simulate every grid point and assemble the report.
@@ -149,7 +156,11 @@ class FaultCampaign:
             # executed.)
             results = []
             for p in points:
-                key = self._point_key(p) if self.journal is not None else None
+                key = self.point_key(p) if self.journal is not None else None
+                if key is not None:
+                    # Pick up points completed by concurrent drainers of
+                    # the same journal (service workers, sibling runs).
+                    self.journal.refresh()
                 if key is not None and key in self.journal:
                     self.journal.skipped += 1
                     results.append(LifetimeResult.from_dict(self.journal.get(key)))
@@ -182,7 +193,7 @@ class FaultCampaign:
                     ),
                     cache_key=self._point_cache_key(p),
                     journal_key=(
-                        self._point_key(p) if self.journal is not None else None
+                        self.point_key(p) if self.journal is not None else None
                     ),
                     encode=LifetimeResult.to_dict,
                     decode=LifetimeResult.from_dict,
@@ -190,7 +201,10 @@ class FaultCampaign:
                 for p in points
             ]
             executor = ParallelExecutor(
-                workers=self.workers, cache=self.cache, journal=self.journal
+                workers=self.workers,
+                cache=self.cache,
+                journal=self.journal,
+                chunk_size=self.chunk_size,
             )
             results = [o.value for o in executor.run(tasks, reraise=True)]
 
@@ -200,11 +214,11 @@ class FaultCampaign:
             perf=point_perf,
         )
         for point, result in zip(points, results):
-            report.add(_record_from_result(point, result))
+            report.add(record_from_result(point, result))
         return report
 
 
-def _record_from_result(
+def record_from_result(
     point: CampaignPoint, result: LifetimeResult
 ) -> SurvivabilityRecord:
     """Collapse one lifetime trajectory into a survivability record."""

@@ -1,0 +1,115 @@
+"""Thin urllib client for the campaign service HTTP API.
+
+Everything the CLI's ``repro submit`` / ``repro jobs`` subcommands do
+goes through this class, and it is the supported way to drive the
+service from Python::
+
+    client = ServiceClient("http://127.0.0.1:8351")
+    job_id = client.submit(CampaignJobSpec(preset="blobs-mini", fast=True))
+    client.wait(job_id)
+    report = SurvivabilityReport.from_dict(client.result(job_id))
+
+Stdlib-only (``urllib``), mirroring the server's zero-dependency
+stance.  HTTP errors surface as :class:`~repro.exceptions.ServiceError`
+with the server's JSON ``error`` message attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, List, Optional, Union
+
+from repro.exceptions import ServiceError
+from repro.service.jobs import CampaignJobSpec
+
+#: States in which a job will make no further progress.
+_TERMINAL = ("done", "cancelled", "failed")
+
+
+class ServiceClient:
+    """JSON-over-HTTP client bound to one ``repro serve`` base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                message = ""
+            raise ServiceError(
+                f"{method} {path} failed: HTTP {exc.code}"
+                + (f" ({message})" if message else "")
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach campaign service at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    # -- API surface -------------------------------------------------------
+    def info(self) -> dict:
+        return self._request("GET", "/api/info")
+
+    def jobs_root(self) -> str:
+        """Jobs directory the server schedules from (for local workers)."""
+        return str(self.info()["jobs_root"])
+
+    def submit(self, spec: Union[CampaignJobSpec, dict]) -> str:
+        """Submit (or resume) a campaign job; returns its id."""
+        payload = spec.to_dict() if isinstance(spec, CampaignJobSpec) else dict(spec)
+        return str(self._request("POST", "/api/jobs", payload)["job_id"])
+
+    def jobs(self) -> List[dict]:
+        return list(self._request("GET", "/api/jobs")["jobs"])
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/api/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The finalized report dict (raises while points remain)."""
+        return self._request("GET", f"/api/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/api/jobs/{job_id}/cancel")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.5,
+        on_progress: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns the status.
+
+        ``on_progress`` (used by ``repro submit --watch``) is invoked
+        with each status snapshot.  Raises :class:`ServiceError` if the
+        job is still running when ``timeout`` elapses.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if on_progress is not None:
+                on_progress(status)
+            if status["status"] in _TERMINAL:
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out waiting for {job_id} "
+                    f"({status['done']}/{status['total']} points done)"
+                )
+            time.sleep(poll_interval)

@@ -1,0 +1,219 @@
+"""Chunk leasing with TTL expiry and work stealing.
+
+The :class:`LeaseBoard` is a tiny on-disk lease table — one entry per
+chunk of grid-point indices — that lets any number of worker processes
+(or hosts, over a shared filesystem) partition a job without a central
+scheduler process.  Workers *claim* a chunk, *renew* its lease while
+executing (a heartbeat), and *complete* it when every point is
+journaled.  A worker that dies simply stops renewing: once the lease
+TTL passes, an idle worker **steals** the chunk and re-runs it.
+
+Leases are an optimization, never the correctness mechanism.  Points
+are idempotent (derivation-seeded, content-hash keyed) and the shared
+:class:`~repro.core.checkpoint.RunJournal` admits each key exactly
+once, so the worst a stale lease can cause is duplicate *computation* —
+never duplicate or divergent *results*.  That separation is what keeps
+the failure-mode analysis short: lose the lease file entirely and the
+job still finishes correctly, just with more re-execution.
+
+Every read-modify-write of the table runs under the advisory
+:func:`~repro.io.file_lock`, and the table itself is rewritten
+atomically, so a killed worker can neither corrupt the file nor hold a
+lock forever.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import ConfigurationError, ServiceError
+from repro.io import file_lock, load_json, save_json_atomic
+
+#: Lease table format version.
+LEASE_SCHEMA = 1
+
+_PENDING = "pending"
+_LEASED = "leased"
+_DONE = "done"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A claimed chunk: execute, renew while working, then complete."""
+
+    chunk_id: int
+    worker_id: str
+    deadline: float
+    #: True when this claim took over another worker's expired lease.
+    stolen: bool = False
+
+
+class LeaseBoard:
+    """On-disk lease table over a job's chunks.
+
+    The table is created once at submit time (:meth:`initialize`) with
+    every chunk ``pending``; thereafter all transitions go through
+    :meth:`claim` / :meth:`renew` / :meth:`complete` / :meth:`release`,
+    each a single locked read-modify-write.  ``clock`` is injectable so
+    tests can expire leases without sleeping.
+    """
+
+    def __init__(
+        self, path, ttl: float = 60.0, clock: Callable[[], float] = time.time
+    ) -> None:
+        if ttl <= 0:
+            raise ConfigurationError(f"lease ttl must be > 0, got {ttl}")
+        self.path = pathlib.Path(path)
+        self.ttl = float(ttl)
+        self._clock = clock
+
+    @classmethod
+    def initialize(cls, path, n_chunks: int) -> "LeaseBoard":
+        """Create the table with ``n_chunks`` pending chunks."""
+        if n_chunks < 1:
+            raise ConfigurationError(f"need at least one chunk, got {n_chunks}")
+        table = {
+            "schema": LEASE_SCHEMA,
+            "chunks": {
+                str(i): {"state": _PENDING, "worker": None, "deadline": None}
+                for i in range(n_chunks)
+            },
+            "stolen": 0,
+        }
+        save_json_atomic(table, path, durable=True)
+        return cls(path)
+
+    # -- table I/O (callers hold the lock) ---------------------------------
+    def _lock(self):
+        return file_lock(self.path.with_name(self.path.name + ".lock"))
+
+    def _load(self) -> dict:
+        if not self.path.exists():
+            raise ServiceError(f"no lease table at {self.path}")
+        table = load_json(self.path)
+        if table.get("schema") != LEASE_SCHEMA:
+            raise ServiceError(
+                f"unknown lease table schema {table.get('schema')!r} in {self.path}"
+            )
+        return table
+
+    def _save(self, table: dict) -> None:
+        save_json_atomic(table, self.path, durable=True)
+
+    # -- lease lifecycle ---------------------------------------------------
+    def claim(self, worker_id: str) -> Optional[Lease]:
+        """Lease the first pending — or expired — chunk, if any.
+
+        Expired leases (their holder stopped heartbeating for longer
+        than the TTL) are stolen in preference order after all pending
+        chunks, so a healthy fleet drains fresh work before re-running
+        a dead worker's chunk.
+        """
+        now = self._clock()
+        with self._lock():
+            table = self._load()
+            chunks = table["chunks"]
+            candidate = None
+            stolen = False
+            for chunk_id in sorted(chunks, key=int):
+                entry = chunks[chunk_id]
+                if entry["state"] == _PENDING:
+                    candidate = chunk_id
+                    break
+            if candidate is None:
+                for chunk_id in sorted(chunks, key=int):
+                    entry = chunks[chunk_id]
+                    if entry["state"] == _LEASED and entry["deadline"] < now:
+                        candidate, stolen = chunk_id, True
+                        break
+            if candidate is None:
+                return None
+            deadline = now + self.ttl
+            chunks[candidate] = {
+                "state": _LEASED,
+                "worker": worker_id,
+                "deadline": deadline,
+            }
+            if stolen:
+                table["stolen"] = int(table.get("stolen", 0)) + 1
+            self._save(table)
+        return Lease(
+            chunk_id=int(candidate),
+            worker_id=worker_id,
+            deadline=deadline,
+            stolen=stolen,
+        )
+
+    def renew(self, chunk_id: int, worker_id: str) -> bool:
+        """Heartbeat: extend the lease; False if it was lost (stolen)."""
+        with self._lock():
+            table = self._load()
+            entry = table["chunks"].get(str(chunk_id))
+            if (
+                entry is None
+                or entry["state"] != _LEASED
+                or entry["worker"] != worker_id
+            ):
+                return False
+            entry["deadline"] = self._clock() + self.ttl
+            self._save(table)
+        return True
+
+    def complete(self, chunk_id: int, worker_id: str) -> None:
+        """Mark a chunk done (first finisher wins; stale holders no-op)."""
+        with self._lock():
+            table = self._load()
+            entry = table["chunks"].get(str(chunk_id))
+            if entry is None or entry["state"] == _DONE:
+                return
+            # A stale holder completing after a steal is fine: the
+            # journal already de-duplicated the points themselves.
+            table["chunks"][str(chunk_id)] = {
+                "state": _DONE,
+                "worker": worker_id,
+                "deadline": None,
+            }
+            self._save(table)
+
+    def release(self, chunk_id: int, worker_id: str) -> None:
+        """Give a held chunk back (e.g. on cancel) without completing it."""
+        with self._lock():
+            table = self._load()
+            entry = table["chunks"].get(str(chunk_id))
+            if (
+                entry is None
+                or entry["state"] != _LEASED
+                or entry["worker"] != worker_id
+            ):
+                return
+            table["chunks"][str(chunk_id)] = {
+                "state": _PENDING,
+                "worker": None,
+                "deadline": None,
+            }
+            self._save(table)
+
+    # -- introspection -----------------------------------------------------
+    def chunk_points(self, chunks: List[List[int]], lease: Lease) -> List[int]:
+        """Point indices of a leased chunk (from the job's chunk list)."""
+        return list(chunks[lease.chunk_id])
+
+    def snapshot(self) -> Dict[str, int]:
+        """Summary counts: pending / leased / expired / done / stolen."""
+        now = self._clock()
+        counts = {"pending": 0, "leased": 0, "expired": 0, "done": 0}
+        table = self._load()
+        for entry in table["chunks"].values():
+            if entry["state"] == _LEASED and entry["deadline"] < now:
+                counts["expired"] += 1
+            else:
+                counts[entry["state"]] += 1
+        counts["stolen"] = int(table.get("stolen", 0))
+        return counts
+
+    def all_done(self) -> bool:
+        table = self._load()
+        return all(e["state"] == _DONE for e in table["chunks"].values())

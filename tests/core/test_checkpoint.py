@@ -337,3 +337,89 @@ class TestJournal:
         relaunch.record("k2", {"x": 2})
         third = RunJournal(path)
         assert sorted(third.entries) == ["k1", "k2"]
+
+
+class TestJournalSharing:
+    """Two journal handles on one file: the service-worker access pattern."""
+
+    def test_refresh_picks_up_sibling_appends(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        mine = RunJournal(path)
+        sibling = RunJournal(path)
+        sibling.record("k1", {"x": 1})
+        assert "k1" not in mine
+        assert mine.refresh() == 1
+        assert mine.get("k1") == {"x": 1}
+        assert mine.refresh() == 0  # incremental: nothing new to read
+
+    def test_racing_writers_record_each_key_once(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        a = RunJournal(path)
+        b = RunJournal(path)
+        a.record("k", {"x": 1})
+        b.record("k", {"x": 2})  # loser rescans under the lock, backs off
+        assert len(path.read_text().splitlines()) == 1
+        assert RunJournal(path).get("k") == {"x": 1}
+
+    def test_refresh_does_not_count_in_flight_append_as_dropped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        mine = RunJournal(path)
+        mine.record("k1", {"x": 1})
+        # A sibling is mid-append: the file ends without a newline.
+        with open(path, "ab") as handle:
+            handle.write(b'{"partial')
+        assert mine.refresh() == 0
+        assert mine.dropped_lines == 0
+        # The sibling finishes its line; refresh now consumes it whole.
+        sibling = RunJournal(path)
+        sibling.record("k2", {"x": 2})
+        assert mine.refresh() >= 1
+        assert "k2" in mine
+
+    def test_torn_tail_completed_by_live_writer_uncounts_drop(self, tmp_path):
+        """A load-time 'torn tail' that turns out to be a live writer's
+        in-flight append must not stay counted as a dropped line."""
+        path = tmp_path / "run.jsonl"
+        writer = RunJournal(path)
+        writer.record("k1", {"x": 1})
+        first = path.read_bytes()
+        writer.record("k2", {"x": 2})
+        second_line = path.read_bytes()[len(first):]
+        # Reader attaches while the second line is half-written...
+        path.write_bytes(first + second_line[:20])
+        reader = RunJournal(path)
+        assert reader.dropped_lines == 1  # provisionally torn
+        # ...then the writer's append completes.
+        path.write_bytes(first + second_line)
+        reader.refresh()
+        assert "k2" in reader
+        assert reader.dropped_lines == 0  # provisional drop rolled back
+
+    def test_concurrent_processes_append_exactly_once(self, tmp_path):
+        """Hammer one journal file from 4 processes; every key must land
+        exactly once and every line must verify."""
+        import multiprocessing
+
+        path = tmp_path / "run.jsonl"
+        keys = [f"k{i}" for i in range(12)]
+        procs = [
+            multiprocessing.Process(target=_journal_hammer, args=(path, keys, w))
+            for w in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        final = RunJournal(path)
+        assert sorted(final.entries) == sorted(keys)
+        assert final.dropped_lines == 0
+        assert len(path.read_text().splitlines()) == len(keys)
+
+
+def _journal_hammer(path, keys, worker: int) -> None:
+    journal = RunJournal(path)
+    order = keys if worker % 2 == 0 else list(reversed(keys))
+    for key in order:
+        journal.refresh()
+        journal.record(key, {"key": key, "value": len(key)})

@@ -1,11 +1,28 @@
 """Unit tests for experiment presets."""
 
-from repro.core.presets import PRESETS, lenet_glyphs, vggnet_shapes
+from repro.core.presets import PRESETS, blobs_mini, lenet_glyphs, vggnet_shapes
 
 
 class TestPresets:
     def test_registry(self):
-        assert set(PRESETS) == {"lenet-glyphs", "vggnet-shapes"}
+        assert set(PRESETS) == {"blobs-mini", "lenet-glyphs", "vggnet-shapes"}
+
+    def test_blobs_preset_builds(self):
+        preset = blobs_mini(fast=True)
+        data = preset.make_dataset()
+        model = preset.build_network(1)
+        assert data.n_classes == 3
+        out = model.forward(data.x_train[:2])
+        assert out.shape == (2, 3)
+
+    def test_blobs_fast_variant_is_smaller(self):
+        fast = blobs_mini(fast=True)
+        full = blobs_mini(fast=False)
+        assert fast.make_dataset().n_train < full.make_dataset().n_train
+        assert (
+            fast.framework_config.lifetime.max_windows
+            < full.framework_config.lifetime.max_windows
+        )
 
     def test_lenet_preset_builds(self):
         preset = lenet_glyphs(fast=True)

@@ -1,0 +1,107 @@
+"""End-to-end HTTP API tests: submit over the wire, drain with 2 workers.
+
+This is the ISSUE's acceptance demo in test form: a campaign submitted
+through the HTTP API, drained by two real worker processes, must yield
+a ``SurvivabilityReport`` bit-identical to the serial campaign.
+"""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import CampaignJobSpec, CampaignService, ServiceClient, ServiceWorker
+
+
+@pytest.fixture()
+def service(tmp_path):
+    with CampaignService(tmp_path / "jobs", workers=0) as svc:
+        yield svc
+
+
+@pytest.fixture()
+def client(service):
+    return ServiceClient(service.url, timeout=10.0)
+
+
+class TestAPI:
+    def test_info_advertises_jobs_root(self, service, client):
+        info = client.info()
+        assert info["service"] == "repro-campaign-service"
+        assert client.jobs_root() == str(service.store.root.resolve())
+
+    def test_submit_status_and_ls(self, client, spec):
+        assert client.jobs() == []
+        job_id = client.submit(spec)
+        status = client.status(job_id)
+        assert (status["status"], status["done"], status["total"]) == ("queued", 0, 3)
+        assert [j["job_id"] for j in client.jobs()] == [job_id]
+
+    def test_submit_accepts_plain_dict(self, client, spec):
+        assert client.submit(spec.to_dict()) == spec.job_id()
+
+    def test_bad_spec_is_400(self, client, spec):
+        with pytest.raises(ServiceError, match="400"):
+            client.submit({**spec.to_dict(), "preset": "nope"})
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError, match="404"):
+            client.status("job-doesnotexist")
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(ServiceError, match="404"):
+            client._request("GET", "/api/bogus")
+
+    def test_result_before_completion_is_409(self, client, spec):
+        job_id = client.submit(spec)
+        with pytest.raises(ServiceError, match="409"):
+            client.result(job_id)
+
+    def test_cancel(self, client, spec):
+        job_id = client.submit(spec)
+        assert client.cancel(job_id)["status"] == "cancelled"
+        status = client.wait(job_id, timeout=5.0, poll_interval=0.05)
+        assert status["status"] == "cancelled"
+
+    def test_unreachable_server(self):
+        with pytest.raises(ServiceError, match="cannot reach"):
+            ServiceClient("http://127.0.0.1:9", timeout=0.5).info()
+
+
+class TestEndToEnd:
+    def test_http_submit_drained_by_two_workers_matches_serial(
+        self, tmp_path, spec, golden_report
+    ):
+        # Two real worker processes polling the shared jobs directory.
+        with CampaignService(
+            tmp_path / "jobs", workers=2, poll_interval=0.05, lease_ttl=30.0
+        ) as svc:
+            client = ServiceClient(svc.url, timeout=10.0)
+            job_id = client.submit(
+                CampaignJobSpec(**{**spec.to_dict(), "chunk_points": 1})
+            )
+            status = client.wait(job_id, timeout=240.0, poll_interval=0.1)
+            assert status["status"] == "done"
+            assert status["done"] == status["total"] == 3
+            result = client.result(job_id)
+        assert result == golden_report.to_dict()
+
+    def test_watch_progress_callback_fires(self, tmp_path, spec, golden_report):
+        with CampaignService(tmp_path / "jobs", workers=0) as svc:
+            client = ServiceClient(svc.url, timeout=10.0)
+            job_id = client.submit(spec)
+            # Drain in-process (no subprocess spin-up) while polling.
+            ServiceWorker(svc.store, worker_id="inline").drain()
+            snapshots = []
+            status = client.wait(
+                job_id, timeout=30.0, poll_interval=0.05,
+                on_progress=snapshots.append,
+            )
+            assert status["status"] == "done"
+            assert snapshots and snapshots[-1]["done"] == 3
+            assert client.result(job_id) == golden_report.to_dict()
+
+    def test_wait_timeout_raises(self, tmp_path, spec):
+        with CampaignService(tmp_path / "jobs", workers=0) as svc:
+            client = ServiceClient(svc.url, timeout=10.0)
+            job_id = client.submit(spec)  # nobody drains it
+            with pytest.raises(ServiceError, match="timed out"):
+                client.wait(job_id, timeout=0.2, poll_interval=0.05)

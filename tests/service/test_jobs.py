@@ -1,0 +1,104 @@
+"""Job spec + store unit tests: identity, idempotence, the state machine."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ServiceError
+from repro.service import CampaignJobSpec, JobStore
+
+
+class TestSpec:
+    def test_roundtrip(self, spec):
+        assert CampaignJobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_job_id_is_content_hash(self, spec):
+        assert spec.job_id() == CampaignJobSpec.from_dict(spec.to_dict()).job_id()
+        other = CampaignJobSpec(**{**spec.to_dict(), "rates": (0.02,)})
+        assert other.job_id() != spec.job_id()
+
+    def test_unknown_field_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            CampaignJobSpec.from_dict({**spec.to_dict(), "bogus": 1})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"preset": "nope"},
+            {"scenario": "nope"},
+            {"repeat": -1},
+            {"chunk_points": 0},
+            {"rates": ()},
+            {"rates": (-0.1,)},
+        ],
+    )
+    def test_validate_rejects(self, spec, bad):
+        with pytest.raises(ConfigurationError):
+            CampaignJobSpec(**{**spec.to_dict(), **bad}).validate()
+
+    def test_build_points_matches_grid(self, spec):
+        names = [p.name for p in spec.build_points()]
+        assert names == ["baseline", "stuck_at@0.01/raw", "stuck_at@0.01/deg"]
+
+
+class TestStore:
+    def test_submit_creates_layout(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        job_id = store.submit(spec)
+        job_dir = store.job_dir(job_id)
+        assert (job_dir / "job.json").exists()
+        assert (job_dir / "state.json").exists()
+        assert (job_dir / "leases.json").exists()
+        document = store.load(job_id)
+        assert len(document["points"]) == 3
+        assert len({p["key"] for p in document["points"]}) == 3
+        assert sorted(i for c in document["chunks"] for i in c) == [0, 1, 2]
+
+    def test_submit_is_idempotent(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        assert store.submit(spec) == store.submit(spec)
+        assert len(store.list_ids()) == 1
+
+    def test_unknown_job_raises(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(ServiceError):
+            store.load("job-doesnotexist")
+        with pytest.raises(ServiceError):
+            store.cancel("job-doesnotexist")
+
+    def test_status_counts_journaled_points(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        job_id = store.submit(spec)
+        status = store.status(job_id)
+        assert (status.status, status.done, status.total) == ("queued", 0, 3)
+        key = store.load(job_id)["points"][0]["key"]
+        store.journal(job_id).record(key, {"fake": 1})
+        assert store.status(job_id).done == 1
+
+    def test_cancel_is_sticky(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        job_id = store.submit(spec)
+        assert store.is_active(job_id)
+        assert store.cancel(job_id).status == "cancelled"
+        assert not store.is_active(job_id)
+        store.mark_running(job_id)  # a late worker cannot resurrect it
+        assert store.status(job_id).status == "cancelled"
+        assert store.finalize_if_complete(job_id) is None
+
+    def test_result_none_until_complete(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        job_id = store.submit(spec)
+        assert store.result(job_id) is None
+
+    def test_chunk_points_controls_chunking(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        wide = CampaignJobSpec(**{**spec.to_dict(), "chunk_points": 3})
+        job_id = store.submit(wide)
+        assert store.load(job_id)["chunks"] == [[0, 1, 2]]
+
+    def test_mark_failed_records_error(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        job_id = store.submit(spec)
+        store.mark_failed(job_id, "kaboom")
+        status = store.status(job_id)
+        assert status.status == "failed"
+        assert status.error == "kaboom"
+        assert not store.is_active(job_id)

@@ -1,0 +1,166 @@
+"""LeaseBoard unit tests: claim ordering, heartbeats, TTL stealing."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ServiceError
+from repro.service import LeaseBoard
+
+
+class FakeClock:
+    """Injectable wall clock so leases expire without sleeping."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def board(tmp_path, clock):
+    LeaseBoard.initialize(tmp_path / "leases.json", n_chunks=3)
+    return LeaseBoard(tmp_path / "leases.json", ttl=10.0, clock=clock)
+
+
+class TestInitialize:
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            LeaseBoard.initialize(tmp_path / "l.json", n_chunks=0)
+
+    def test_rejects_bad_ttl(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            LeaseBoard(tmp_path / "l.json", ttl=0.0)
+
+    def test_missing_table_raises(self, tmp_path):
+        with pytest.raises(ServiceError):
+            LeaseBoard(tmp_path / "nope.json").claim("w")
+
+    def test_unknown_schema_raises(self, tmp_path):
+        path = tmp_path / "l.json"
+        LeaseBoard.initialize(path, n_chunks=1)
+        import json
+
+        doc = json.loads(path.read_text())
+        doc["schema"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ServiceError):
+            LeaseBoard(path).claim("w")
+
+
+class TestClaim:
+    def test_chunks_claimed_in_order_without_overlap(self, board):
+        a = board.claim("alice")
+        b = board.claim("bob")
+        c = board.claim("alice")
+        assert [lease.chunk_id for lease in (a, b, c)] == [0, 1, 2]
+        assert board.claim("carol") is None
+
+    def test_claim_sets_deadline(self, board, clock):
+        lease = board.claim("alice")
+        assert lease.deadline == clock.now + 10.0
+        assert not lease.stolen
+
+    def test_done_chunks_never_reclaimed(self, board, clock):
+        lease = board.claim("alice")
+        board.complete(lease.chunk_id, "alice")
+        board.claim("bob")
+        board.claim("bob")
+        clock.advance(1e6)  # even long after every deadline
+        extra = board.claim("carol")
+        assert extra is None or extra.chunk_id != lease.chunk_id
+
+
+class TestRenewAndSteal:
+    def test_renew_extends_deadline(self, board, clock):
+        lease = board.claim("alice")
+        clock.advance(8.0)
+        assert board.renew(lease.chunk_id, "alice")
+        clock.advance(8.0)  # 16s total: dead without the renewal
+        assert board.claim("bob").chunk_id != lease.chunk_id
+
+    def test_expired_lease_is_stolen(self, board, clock):
+        lease = board.claim("alice")
+        board.claim("bob")
+        board.claim("bob")
+        clock.advance(11.0)
+        stolen = board.claim("carol")
+        # All three are expired now; the first (alice's) goes first.
+        assert stolen.chunk_id == lease.chunk_id
+        assert stolen.stolen
+        assert board.snapshot()["stolen"] == 1
+
+    def test_fresh_lease_is_not_stolen(self, board, clock):
+        board.claim("alice")
+        board.claim("bob")
+        board.claim("bob")
+        clock.advance(5.0)
+        assert board.claim("carol") is None
+
+    def test_pending_preferred_over_expired(self, board, clock):
+        board.claim("alice")
+        clock.advance(11.0)  # alice's chunk 0 is now expired
+        lease = board.claim("bob")
+        assert lease.chunk_id == 1  # fresh work first
+        assert not lease.stolen
+
+    def test_original_holder_loses_renew_after_steal(self, board, clock):
+        lease = board.claim("alice")
+        board.claim("bob")
+        board.claim("bob")
+        clock.advance(11.0)
+        assert board.claim("carol").stolen  # takes over alice's chunk 0
+        assert not board.renew(lease.chunk_id, "alice")
+
+    def test_renew_unknown_chunk_is_false(self, board):
+        assert not board.renew(99, "alice")
+
+
+class TestCompleteAndRelease:
+    def test_release_returns_chunk_to_pending(self, board):
+        lease = board.claim("alice")
+        board.release(lease.chunk_id, "alice")
+        again = board.claim("bob")
+        assert again.chunk_id == lease.chunk_id
+        assert not again.stolen
+
+    def test_release_by_non_holder_is_noop(self, board):
+        lease = board.claim("alice")
+        board.release(lease.chunk_id, "bob")
+        assert board.snapshot()["leased"] == 1
+
+    def test_stale_complete_after_steal_is_harmless(self, board, clock):
+        lease = board.claim("alice")
+        clock.advance(11.0)
+        board.claim("bob")  # steal
+        board.complete(lease.chunk_id, "alice")  # alice finishes late
+        snapshot = board.snapshot()
+        assert snapshot["done"] == 1  # done is done; journal de-dups points
+
+    def test_all_done(self, board):
+        assert not board.all_done()
+        for _ in range(3):
+            lease = board.claim("w")
+            board.complete(lease.chunk_id, "w")
+        assert board.all_done()
+        assert board.snapshot() == {
+            "pending": 0,
+            "leased": 0,
+            "expired": 0,
+            "done": 3,
+            "stolen": 0,
+        }
+
+    def test_snapshot_counts_expired(self, board, clock):
+        board.claim("alice")
+        clock.advance(11.0)
+        snapshot = board.snapshot()
+        assert snapshot["expired"] == 1
+        assert snapshot["pending"] == 2

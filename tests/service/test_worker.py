@@ -1,0 +1,172 @@
+"""Worker drain tests: bit-identity, cooperation, crash recovery.
+
+The acceptance bar from DESIGN.md §12: any worker interleaving —
+including a worker dying mid-chunk and its lease being stolen — yields
+a report bit-identical to the serial campaign, with every completed
+point journaled exactly once and never re-executed.
+"""
+
+import json
+import time
+
+from repro.core.results import LifetimeResult
+from repro.service import CampaignJobSpec, JobStore, ServiceWorker
+
+
+def _journal_lines(store, job_id):
+    path = store.job_dir(job_id) / "journal.jsonl"
+    return [ln for ln in path.read_text().splitlines() if ln.strip()]
+
+
+class TestSingleWorker:
+    def test_drain_matches_serial_campaign(self, tmp_path, spec, golden_report):
+        store = JobStore(tmp_path)
+        job_id = store.submit(spec)
+        worker = ServiceWorker(store, worker_id="solo")
+        executed = worker.drain()
+        assert executed == 3
+        assert store.status(job_id).status == "done"
+        assert store.result(job_id) == golden_report.to_dict()
+        # Exactly one journal line per grid point.
+        assert len(_journal_lines(store, job_id)) == 3
+
+    def test_redrain_executes_nothing(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        store.submit(spec)
+        ServiceWorker(store, worker_id="first").drain()
+        again = ServiceWorker(store, worker_id="second")
+        assert again.drain() == 0
+
+    def test_resubmit_after_drain_resumes_done_job(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        job_id = store.submit(spec)
+        ServiceWorker(store, worker_id="w").drain()
+        assert store.submit(spec) == job_id
+        assert store.status(job_id).status == "done"
+
+    def test_cancel_stops_execution(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        job_id = store.submit(
+            CampaignJobSpec(**{**spec.to_dict(), "chunk_points": 3})
+        )
+        store.cancel(job_id)
+        worker = ServiceWorker(store, worker_id="w")
+        assert worker.drain() == 0
+        assert store.status(job_id).status == "cancelled"
+
+
+class TestTwoWorkers:
+    def test_cooperative_drain_is_bit_identical(self, tmp_path, spec, golden_report):
+        store = JobStore(tmp_path)
+        job_id = store.submit(
+            CampaignJobSpec(**{**spec.to_dict(), "chunk_points": 1})
+        )
+        alice = ServiceWorker(store, worker_id="alice")
+        bob = ServiceWorker(store, worker_id="bob")
+        # Interleave chunk-by-chunk: each run_once claims one chunk.
+        progressed = True
+        while progressed:
+            progressed = alice.run_once() | bob.run_once()
+        assert alice.points_executed + bob.points_executed == 3
+        assert alice.points_executed > 0 and bob.points_executed > 0
+        assert len(_journal_lines(store, job_id)) == 3
+        assert store.result(job_id) == golden_report.to_dict()
+
+    def test_second_worker_skips_journaled_points(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        # One chunk spanning the whole grid: bob's stolen/receased chunk
+        # must skip the point alice already journaled.
+        job_id = store.submit(
+            CampaignJobSpec(**{**spec.to_dict(), "chunk_points": 3})
+        )
+        document = store.load(job_id)
+        speck = CampaignJobSpec.from_dict(document["spec"])
+        framework = speck.build_framework()
+        point = speck.build_points()[0]
+        result = framework.run_scenario(
+            speck.scenario, repeat=speck.repeat,
+            fault_schedule=point.schedule, degradation=point.degradation,
+        )
+        store.journal(job_id).record(document["points"][0]["key"], result.to_dict())
+
+        bob = ServiceWorker(store, worker_id="bob")
+        assert bob.drain() == 2  # the journaled point is not re-executed
+
+
+class TestCrashRecovery:
+    def test_dead_workers_chunk_is_stolen_and_no_points_lost(
+        self, tmp_path, spec, golden_report
+    ):
+        # Short TTL so the "dead" worker's lease expires quickly.
+        store = JobStore(tmp_path, lease_ttl=0.05)
+        job_id = store.submit(
+            CampaignJobSpec(**{**spec.to_dict(), "chunk_points": 3})
+        )
+        document = store.load(job_id)
+
+        # Worker A claims the only chunk, completes ONE point, then
+        # "dies": no renewals, no completion, lease left dangling.
+        lease = store.leases(job_id).claim("doomed")
+        assert lease is not None and not lease.stolen
+        speck = CampaignJobSpec.from_dict(document["spec"])
+        framework = speck.build_framework()
+        point = speck.build_points()[0]
+        result = framework.run_scenario(
+            speck.scenario, repeat=speck.repeat,
+            fault_schedule=point.schedule, degradation=point.degradation,
+        )
+        store.journal(job_id).record(document["points"][0]["key"], result.to_dict())
+
+        time.sleep(0.1)  # let the lease expire
+
+        rescuer = ServiceWorker(store, worker_id="rescuer")
+        executed = rescuer.drain()
+        # The journaled point survived the crash: only 2 re-executed.
+        assert executed == 2
+        assert store.leases(job_id).snapshot()["stolen"] == 1
+        assert len(_journal_lines(store, job_id)) == 3
+        assert store.result(job_id) == golden_report.to_dict()
+
+    def test_unbuildable_job_is_failed_not_looped(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        job_id = store.submit(spec)
+        # Corrupt the stored spec the way a bad deploy would: the
+        # preset no longer exists on the worker.
+        job_path = store.job_dir(job_id) / "job.json"
+        document = json.loads(job_path.read_text())
+        document["spec"]["preset"] = "removed-preset"
+        job_path.write_text(json.dumps(document))
+
+        worker = ServiceWorker(store, worker_id="w")
+        worker.drain()
+        status = store.status(job_id)
+        assert status.status == "failed"
+        assert "removed-preset" in (status.error or "")
+
+
+class TestSharedCache:
+    def test_workers_share_the_store_cache(self, tmp_path, spec, golden_report):
+        store = JobStore(tmp_path)
+        job_id = store.submit(spec)
+        ServiceWorker(store, worker_id="w").drain()
+        # A second job with the same points is served from the cache:
+        # drain executes them as cache hits (instant) with identical
+        # results.
+        other = CampaignJobSpec(**{**spec.to_dict(), "chunk_points": 3})
+        other_id = store.submit(other)
+        assert other_id != job_id
+        cache = store.cache()
+        hits_before = cache.hits
+        worker = ServiceWorker(store, worker_id="w2")
+        worker.cache = cache  # observe this instance's hit counters
+        worker.drain()
+        assert cache.hits - hits_before == 3
+        assert store.result(other_id) == golden_report.to_dict()
+
+    def test_result_payload_roundtrips(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        job_id = store.submit(spec)
+        ServiceWorker(store, worker_id="w").drain()
+        journal = store.journal(job_id)
+        for point in store.load(job_id)["points"]:
+            LifetimeResult.from_dict(journal.get(point["key"]))  # must parse

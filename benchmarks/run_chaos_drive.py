@@ -1,0 +1,93 @@
+"""Env-driven chaos drive: one blobs-mini campaign under ``REPRO_CHAOS``.
+
+CI's executable counterpart to ``tests/service/test_chaos.py``: where
+the test battery configures the chaos controller in-process, this
+driver exercises the *environment* path (``ChaosConfig.from_env``) the
+way an operator would arm it — the whole service stack in one process,
+faults injected at every layer the env selects:
+
+* a real :class:`~repro.service.server.CampaignService` (HTTP);
+* a :class:`~repro.service.client.ServiceClient` submitting and
+  polling over the wire (``drop-response`` bites here);
+* two in-process workers draining the shared jobs directory
+  (``crash-point`` and ``clock-skew`` bite here, ``corrupt-write``
+  bites the lease/state saves underneath them).
+
+Exit status is 0 iff the job reaches a terminal state with every chunk
+resolved (done or quarantined, no hung leases) and — when any mode is
+armed — the controller actually injected something.  A crash-doomed
+grid ends ``completed_with_failures`` with a partial report; that is
+containment working, not a failure.
+
+Usage::
+
+    REPRO_CHAOS=crash-point,corrupt-write REPRO_CHAOS_SEED=11 \
+        PYTHONPATH=src python benchmarks/run_chaos_drive.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+
+from repro.service import (
+    CampaignJobSpec,
+    CampaignService,
+    ServiceClient,
+    ServiceWorker,
+    chaos,
+)
+from repro.service.jobs import TERMINAL_STATES
+
+
+def main() -> int:
+    ctrl = chaos.controller()  # parses REPRO_CHAOS* on first touch
+    print(f"chaos modes armed: {list(ctrl.config.modes) or 'none'}")
+
+    spec = CampaignJobSpec(
+        preset="blobs-mini",
+        fast=True,
+        kinds=("stuck_at",),
+        rates=(0.01,),
+        chunk_points=1,
+    )
+    root = tempfile.mkdtemp(prefix="repro-chaos-drive-")
+    with CampaignService(root, workers=0) as svc:
+        client = ServiceClient(svc.url, timeout=30.0)
+        job_id = client.submit(spec)
+        workers = [
+            ServiceWorker(svc.store, worker_id=f"chaos-w{i}") for i in range(2)
+        ]
+        progressed = True
+        while progressed:
+            progressed = False
+            for worker in workers:
+                progressed = worker.run_once() or progressed
+        status = client.status(job_id)
+        board = svc.store.leases(job_id)
+        snapshot = board.snapshot()
+        recoveries = svc.store.recoveries
+        print(json.dumps(status, indent=2, sort_keys=True))
+        print(f"leases: {snapshot}")
+        print(f"healthz: {client.healthz()}")
+        print(f"injected: {ctrl.injected}  store recoveries: {recoveries}")
+
+    problems = []
+    if status["status"] not in TERMINAL_STATES:
+        problems.append(f"non-terminal job state {status['status']!r}")
+    if not board.all_resolved():
+        problems.append(f"unresolved chunks after drain: {snapshot}")
+    if snapshot["leased"] or snapshot["expired"]:
+        problems.append(f"hung leases after drain: {snapshot}")
+    if ctrl.enabled and not ctrl.injected:
+        problems.append("chaos armed but nothing injected — raise rates or seed")
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"chaos drive survived: terminal state {status['status']!r}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

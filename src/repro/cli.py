@@ -303,7 +303,12 @@ def cmd_submit(args) -> int:
     status = client.wait(
         job_id, timeout=args.timeout, poll_interval=1.0, on_progress=progress
     )
-    if status["status"] != "done":
+    if status["status"] == "completed_with_failures":
+        print(
+            f"job completed with failures: {status.get('failed', '?')} of "
+            f"{status['total']} point(s) quarantined (partial report below)"
+        )
+    elif status["status"] != "done":
         print(f"job ended {status['status']}: {status.get('error', '')}")
         return 1
     result = client.result(job_id)
@@ -314,7 +319,7 @@ def cmd_submit(args) -> int:
         with open(args.out, "w") as handle:
             json.dump(result, handle, indent=2)
         print(f"report written to {args.out}")
-    return 0
+    return 1 if status["status"] == "completed_with_failures" else 0
 
 
 def cmd_jobs(args) -> int:
@@ -333,7 +338,8 @@ def cmd_jobs(args) -> int:
             [
                 j["job_id"],
                 j["status"],
-                f"{j['done']}/{j['total']}",
+                f"{j['done']}/{j['total']}"
+                + (f" ({j['failed']} failed)" if j.get("failed") else ""),
                 j["workload"],
                 j["scenario_key"],
             ]
@@ -342,7 +348,20 @@ def cmd_jobs(args) -> int:
         print(render_table(["job", "status", "points", "workload", "scenario"], rows))
         return 0
     if args.jobs_command == "status":
-        print(json.dumps(client.status(args.job_id), indent=2))
+        from repro.exceptions import ServiceError
+
+        payload = client.status(args.job_id)
+        quarantined = payload.get("leases", {}).get("quarantined", 0)
+        if quarantined or payload.get("failed"):
+            payload["containment"] = {
+                "failed_points": payload.get("failed", 0),
+                "quarantined_chunks": quarantined,
+            }
+        try:
+            payload["healthz"] = client.healthz()
+        except ServiceError:  # a pre-/healthz server; status still works
+            pass
+        print(json.dumps(payload, indent=2))
         return 0
     if args.jobs_command == "result":
         result = client.result(args.job_id)
@@ -360,6 +379,7 @@ def cmd_jobs(args) -> int:
 
 
 def cmd_worker(args) -> int:
+    from repro.exceptions import ServiceUnavailableError
     from repro.service import ServiceClient, worker_main
 
     jobs_root = args.jobs
@@ -369,8 +389,14 @@ def cmd_worker(args) -> int:
             return 2
         # The server advertises its jobs directory; attaching this way
         # assumes it is reachable from here (same host or a shared
-        # filesystem mount).
-        jobs_root = ServiceClient(args.server).jobs_root()
+        # filesystem mount).  The client already retries with jittered
+        # backoff; if the server stays unreachable, exit with a message
+        # instead of a traceback.
+        try:
+            jobs_root = ServiceClient(args.server).jobs_root()
+        except ServiceUnavailableError as exc:
+            print(f"cannot attach worker: {exc}")
+            return 1
         print(f"attached to {args.server} (jobs in {jobs_root})")
     return worker_main(
         jobs_root,

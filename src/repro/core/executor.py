@@ -271,6 +271,33 @@ class RetryPolicy:
             return base
         return base * self._jitter_factor(failures, token)
 
+    def call(
+        self,
+        fn: Callable[[], Any],
+        token: Optional[str] = None,
+        retryable: Optional[Callable[[BaseException], bool]] = None,
+    ) -> Any:
+        """Run ``fn()`` with this policy's retry schedule applied.
+
+        The generic in-process counterpart of the executor's task
+        retries, shared by the service worker (point execution) and the
+        HTTP client (transient network errors).  ``retryable`` filters
+        which exceptions are worth another attempt — anything it
+        rejects (or every exception, once ``max_retries`` is exhausted)
+        propagates unchanged.
+        """
+        failures = 0
+        while True:
+            try:
+                return fn()
+            except Exception as exc:
+                if retryable is not None and not retryable(exc):
+                    raise
+                failures += 1
+                if failures > self.max_retries:
+                    raise
+                time.sleep(self.delay(failures, token=token))
+
 
 # -- tasks --------------------------------------------------------------------
 @dataclass

@@ -13,6 +13,7 @@
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import os
 import pathlib
@@ -27,7 +28,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback path
 import numpy as np
 
 from repro.core.results import LifetimeResult, ScenarioComparison, WindowRecord
-from repro.exceptions import ConfigurationError, ShapeError
+from repro.exceptions import ConfigurationError, CorruptStateError, ShapeError
 from repro.nn.model import Sequential
 
 PathLike = Union[str, pathlib.Path]
@@ -56,6 +57,47 @@ def save_json_atomic(payload: Any, path: PathLike, durable: bool = False) -> Non
     os.replace(tmp, path)
     if durable:
         _fsync_dir(path.parent)
+
+
+def _guarded_digest(payload: Any) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def save_json_guarded(payload: Any, path: PathLike, durable: bool = True) -> None:
+    """Atomically write ``payload`` wrapped with a SHA-256 content hash.
+
+    The campaign service persists its mutable coordination files
+    (``leases.json``, ``state.json``) through this wrapper so that *any*
+    corruption — a torn write that still parses, bit rot, a hostile
+    chaos test — is detected at load time instead of being acted on.
+    """
+    save_json_atomic(
+        {"sha256": _guarded_digest(payload), "payload": payload},
+        path,
+        durable=durable,
+    )
+
+
+def load_json_guarded(path: PathLike) -> Any:
+    """Read a document written by :func:`save_json_guarded`.
+
+    Raises :class:`~repro.exceptions.CorruptStateError` when the file
+    does not parse, is not a guarded document, or fails its checksum —
+    one exception type for callers that rebuild from a better source.
+    """
+    path = pathlib.Path(path)
+    try:
+        document = load_json(path)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise CorruptStateError(f"{path} does not parse: {exc}") from exc
+    if not isinstance(document, dict) or "payload" not in document:
+        raise CorruptStateError(f"{path} is not a guarded JSON document")
+    if _guarded_digest(document["payload"]) != document.get("sha256"):
+        raise CorruptStateError(f"{path} failed its content checksum")
+    return document["payload"]
 
 
 @contextlib.contextmanager

@@ -1,0 +1,240 @@
+"""Seeded fault injection for the campaign service (the chaos harness).
+
+The service's failure-containment guarantees — poison-work quarantine,
+corruption recovery, retrying HTTP clients, clock-skew tolerance — are
+only worth having if something exercises them continuously.  This
+module injects the four failure modes the containment layer claims to
+survive, each behind an *inactive-by-default* hook at the exact layer
+the real failure would hit:
+
+``crash-point``
+    :meth:`ChaosController.crash_point` raises :class:`ChaosError`
+    inside the worker's point execution.  Selection is a pure function
+    of ``(seed, point key)``, so a doomed point crashes on **every**
+    attempt, on every worker — the deterministic poison-work case the
+    lease board's quarantine exists for.
+
+``corrupt-write``
+    :meth:`ChaosController.corrupt_file` garbles ``leases.json`` /
+    ``state.json`` right after an atomic save (truncation or mid-file
+    byte stomp, alternating) — the torn-write/bit-rot case the guarded
+    checksums and journal-rebuild recovery exist for.
+
+``drop-response``
+    :meth:`ChaosController.drop_response` raises :class:`ChaosError`
+    in the HTTP client per ``(route, attempt)``, so a dropped response
+    is transient: the retry schedule eventually gets through — the
+    flaky-network case typed retryable errors exist for.
+
+``clock-skew``
+    :meth:`ChaosController.skewed_clock` offsets a worker's view of
+    wall time by a deterministic per-identity amount, shifting every
+    lease deadline it writes or reads — the NTP-drift case the
+    journal-not-leases correctness rule exists for.
+
+Every decision derives from SHA-256 over ``(seed, site, token)`` — no
+global RNG state, no ordering sensitivity — so a chaos run is
+reproducible from its seed alone, across processes and hosts.  Workers
+spawned by :class:`~repro.service.server.CampaignService` inherit the
+configuration through the environment (``REPRO_CHAOS``,
+``REPRO_CHAOS_SEED``, per-mode rate variables); tests configure it
+in-process via :func:`configure`/:func:`reset`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.exceptions import ChaosError, ConfigurationError
+
+#: Every failure mode the harness can inject.
+CHAOS_MODES = ("crash-point", "corrupt-write", "drop-response", "clock-skew")
+
+#: Files corrupt-write is allowed to touch.  The journal is expressly
+#: NOT on this list: it is the single source of truth the service
+#: rebuilds everything else from (its own torn-tail tolerance is
+#: exercised separately by tests/core/test_checkpoint.py).
+_CORRUPTIBLE = ("leases.json", "state.json")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Which failure modes are armed, and how hard they bite."""
+
+    modes: Tuple[str, ...] = ()
+    seed: int = 0
+    #: Fraction of grid points that deterministically crash.
+    crash_rate: float = 0.5
+    #: Probability that one guarded-file save is garbled afterwards.
+    corrupt_rate: float = 0.25
+    #: Probability that one HTTP attempt loses its response.
+    drop_rate: float = 0.5
+    #: Clock-skew magnitude (seconds); per-identity offset in [-s, +s].
+    skew_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "modes", tuple(self.modes))
+        unknown = set(self.modes) - set(CHAOS_MODES)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown chaos mode(s) {sorted(unknown)}; "
+                f"choose from {list(CHAOS_MODES)}"
+            )
+        for name in ("crash_rate", "corrupt_rate", "drop_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if self.skew_s < 0:
+            raise ConfigurationError(f"skew_s must be >= 0, got {self.skew_s}")
+
+    @classmethod
+    def from_env(cls, env: Optional[Dict[str, str]] = None) -> "ChaosConfig":
+        """Parse ``REPRO_CHAOS*`` variables (empty/absent = disabled)."""
+        env = dict(os.environ) if env is None else env
+        spec = env.get("REPRO_CHAOS", "").strip()
+        if not spec:
+            return cls()
+        modes = tuple(m.strip() for m in spec.split(",") if m.strip())
+
+        def _rate(name: str, default: float) -> float:
+            raw = env.get(name)
+            return default if raw is None else float(raw)
+
+        return cls(
+            modes=modes,
+            seed=int(env.get("REPRO_CHAOS_SEED", "0")),
+            crash_rate=_rate("REPRO_CHAOS_CRASH_RATE", cls.crash_rate),
+            corrupt_rate=_rate("REPRO_CHAOS_CORRUPT_RATE", cls.corrupt_rate),
+            drop_rate=_rate("REPRO_CHAOS_DROP_RATE", cls.drop_rate),
+            skew_s=_rate("REPRO_CHAOS_SKEW", cls.skew_s),
+        )
+
+
+@dataclass
+class ChaosController:
+    """Applies one :class:`ChaosConfig` at the service's injection sites.
+
+    Stateless apart from bookkeeping: ``injected`` counts firings per
+    mode (tests assert the harness actually did something), and a
+    per-file save counter sequences corrupt-write decisions within one
+    process.
+    """
+
+    config: ChaosConfig = field(default_factory=ChaosConfig)
+    injected: Dict[str, int] = field(default_factory=dict)
+    _save_seq: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.config.modes)
+
+    def active(self, mode: str) -> bool:
+        return mode in self.config.modes
+
+    def _unit(self, site: str, token: str) -> float:
+        """Deterministic uniform [0, 1) from (seed, site, token)."""
+        blob = f"{self.config.seed}/{site}/{token}".encode("utf-8")
+        return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") / 2.0**64
+
+    def _fired(self, mode: str) -> None:
+        self.injected[mode] = self.injected.get(mode, 0) + 1
+
+    # -- crash-point -------------------------------------------------------
+    def point_is_doomed(self, key: str) -> bool:
+        """True when this grid point crashes (same answer every attempt)."""
+        return (
+            self.active("crash-point")
+            and self._unit("crash-point", key) < self.config.crash_rate
+        )
+
+    def crash_point(self, key: str) -> None:
+        """Raise inside point execution for doomed points."""
+        if self.point_is_doomed(key):
+            self._fired("crash-point")
+            raise ChaosError(f"chaos: injected crash for point {key[:16]}…")
+
+    # -- corrupt-write -----------------------------------------------------
+    def corrupt_file(self, path) -> bool:
+        """Maybe garble a just-saved coordination file; True if it did.
+
+        Alternates between truncation (a torn write) and stomping bytes
+        mid-file (bit rot that still has the right length) so both
+        parse-failure and checksum-failure detection paths get traffic.
+        """
+        path = pathlib.Path(path)
+        if not self.active("corrupt-write") or path.name not in _CORRUPTIBLE:
+            return False
+        seq = self._save_seq.get(path.name, 0)
+        self._save_seq[path.name] = seq + 1
+        roll = self._unit("corrupt-write", f"{path.name}/{seq}")
+        if roll >= self.config.corrupt_rate:
+            return False
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return False
+        if len(raw) < 8:
+            return False
+        if self._unit("corrupt-style", f"{path.name}/{seq}") < 0.5:
+            path.write_bytes(raw[: len(raw) // 2])  # torn write
+        else:
+            mid = len(raw) // 2
+            path.write_bytes(raw[:mid] + b"\x00CHAOS\x00" + raw[mid + 7 :])
+        self._fired("corrupt-write")
+        return True
+
+    # -- drop-response -----------------------------------------------------
+    def drop_response(self, route: str, attempt: int) -> None:
+        """Raise per (route, attempt): transient, retries get through."""
+        if (
+            self.active("drop-response")
+            and self._unit("drop-response", f"{route}/{attempt}")
+            < self.config.drop_rate
+        ):
+            self._fired("drop-response")
+            raise ChaosError(f"chaos: dropped HTTP response for {route}")
+
+    # -- clock-skew --------------------------------------------------------
+    def skew_for(self, identity: str) -> float:
+        """Deterministic offset in [-skew_s, +skew_s] for one identity."""
+        if not self.active("clock-skew") or self.config.skew_s == 0.0:
+            return 0.0
+        return (2.0 * self._unit("clock-skew", identity) - 1.0) * self.config.skew_s
+
+    def skewed_clock(self, identity: str) -> Callable[[], float]:
+        """A wall clock shifted by this identity's skew (0 when inactive)."""
+        offset = self.skew_for(identity)
+        if offset == 0.0:
+            return time.time
+        self._fired("clock-skew")
+        return lambda: time.time() + offset
+
+
+#: Lazily built process-wide controller (None = not yet resolved).
+_controller: Optional[ChaosController] = None
+
+
+def controller() -> ChaosController:
+    """The process's chaos controller (env-configured on first use)."""
+    global _controller
+    if _controller is None:
+        _controller = ChaosController(ChaosConfig.from_env())
+    return _controller
+
+
+def configure(config: ChaosConfig) -> ChaosController:
+    """Install a controller programmatically (tests); returns it."""
+    global _controller
+    _controller = ChaosController(config)
+    return _controller
+
+
+def reset() -> None:
+    """Forget the installed controller; next use re-reads the env."""
+    global _controller
+    _controller = None

@@ -10,33 +10,73 @@ service from Python::
     report = SurvivabilityReport.from_dict(client.result(job_id))
 
 Stdlib-only (``urllib``), mirroring the server's zero-dependency
-stance.  HTTP errors surface as :class:`~repro.exceptions.ServiceError`
-with the server's JSON ``error`` message attached.
+stance.  Failures are *typed*: transport faults and HTTP 5xx raise
+:class:`~repro.exceptions.ServiceUnavailableError` (``retryable=True``)
+and are retried on a seeded-jitter
+:class:`~repro.core.executor.RetryPolicy` schedule before surfacing;
+HTTP 4xx raises plain :class:`~repro.exceptions.ServiceError`
+(``retryable=False``) immediately — a bad request does not get better
+by asking again.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 import urllib.error
 import urllib.request
 from typing import Callable, List, Optional, Union
 
-from repro.exceptions import ServiceError
-from repro.service.jobs import CampaignJobSpec
+from repro.core.executor import RetryPolicy
+from repro.exceptions import ChaosError, ServiceError, ServiceUnavailableError
+from repro.service import chaos
+from repro.service.jobs import TERMINAL_STATES, CampaignJobSpec
 
-#: States in which a job will make no further progress.
-_TERMINAL = ("done", "cancelled", "failed")
+
+def _retryable(exc: Exception) -> bool:
+    """Retry typed-retryable errors and injected (transient) drops."""
+    return isinstance(exc, ChaosError) or bool(getattr(exc, "retryable", False))
 
 
 class ServiceClient:
     """JSON-over-HTTP client bound to one ``repro serve`` base URL."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        if retry is None:
+            # Seeded jitter (per base URL) keeps retry schedules
+            # deterministic for tests while decorrelating clients that
+            # hammer the same server from different URLs/processes.
+            seed = int.from_bytes(
+                hashlib.sha256(self.base_url.encode("utf-8")).digest()[:4], "big"
+            )
+            retry = RetryPolicy(
+                max_retries=4, backoff_base=0.1, jitter=0.5, jitter_seed=seed
+            )
+        self.retry = retry
 
     def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        """One API call with retries on retryable (transport/5xx) errors."""
+        route = f"{method} {path}"
+        state = {"attempt": 0}
+
+        def once() -> dict:
+            state["attempt"] += 1
+            return self._attempt(method, path, payload, route, state["attempt"])
+
+        return self.retry.call(once, token=route, retryable=_retryable)
+
+    def _attempt(
+        self, method: str, path: str, payload: Optional[dict], route: str, attempt: int
+    ) -> dict:
+        chaos.controller().drop_response(route, attempt)
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
             f"{self.base_url}{path}",
@@ -52,18 +92,33 @@ class ServiceClient:
                 message = json.loads(exc.read().decode("utf-8")).get("error", "")
             except Exception:
                 message = ""
-            raise ServiceError(
-                f"{method} {path} failed: HTTP {exc.code}"
-                + (f" ({message})" if message else "")
-            ) from exc
+            detail = f"{route} failed: HTTP {exc.code}" + (
+                f" ({message})" if message else ""
+            )
+            if exc.code >= 500:
+                raise ServiceUnavailableError(detail) from exc
+            raise ServiceError(detail) from exc
         except urllib.error.URLError as exc:
-            raise ServiceError(
+            raise ServiceUnavailableError(
                 f"cannot reach campaign service at {self.base_url}: {exc.reason}"
+            ) from exc
+        except (ConnectionResetError, ConnectionRefusedError, TimeoutError) as exc:
+            raise ServiceUnavailableError(
+                f"connection to campaign service at {self.base_url} "
+                f"failed: {exc}"
             ) from exc
 
     # -- API surface -------------------------------------------------------
     def info(self) -> dict:
         return self._request("GET", "/api/info")
+
+    def healthz(self) -> dict:
+        """Liveness snapshot (job counts, worker fleet, uptime)."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """Request/error counters plus recovery and chaos tallies."""
+        return self._request("GET", "/metrics")
 
     def jobs_root(self) -> str:
         """Jobs directory the server schedules from (for local workers)."""
@@ -105,7 +160,7 @@ class ServiceClient:
             status = self.status(job_id)
             if on_progress is not None:
                 on_progress(status)
-            if status["status"] in _TERMINAL:
+            if status["status"] in TERMINAL_STATES:
                 return status
             if deadline is not None and time.monotonic() > deadline:
                 raise ServiceError(

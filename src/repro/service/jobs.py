@@ -34,28 +34,53 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+import logging
+
 from repro.core.checkpoint import RunJournal
 from repro.core.executor import ResultCache, adaptive_chunk_size, fingerprint
 from repro.core.framework import AgingAwareFramework
 from repro.core.presets import PRESETS
 from repro.core.results import LifetimeResult
 from repro.core.scenarios import SCENARIOS
-from repro.exceptions import ConfigurationError, ServiceError
-from repro.io import file_lock, load_json, save_json_atomic
+from repro.exceptions import ConfigurationError, CorruptStateError, ServiceError
+from repro.io import (
+    file_lock,
+    load_json,
+    load_json_guarded,
+    save_json_atomic,
+    save_json_guarded,
+)
 from repro.robustness.campaign import (
     CampaignPoint,
     FaultCampaign,
     build_grid,
     record_from_result,
 )
-from repro.robustness.report import SurvivabilityReport
-from repro.service.scheduler import LeaseBoard
+from repro.robustness.report import SurvivabilityRecord, SurvivabilityReport
+from repro.service import chaos
+from repro.service.scheduler import DEFAULT_MAX_ATTEMPTS, LeaseBoard, fresh_entry
+
+logger = logging.getLogger(__name__)
 
 #: Job document format version.
 JOB_SCHEMA = 1
 
 #: Terminal job states (no further execution happens).
-TERMINAL_STATES = ("done", "cancelled", "failed")
+#: ``completed_with_failures`` is the graceful-degradation terminal:
+#: every point is resolved, but some only as quarantined failures.
+TERMINAL_STATES = ("done", "completed_with_failures", "cancelled", "failed")
+
+
+def failure_key(point_key: str) -> str:
+    """Journal key under which a point's *failure record* is stored.
+
+    Success results live under the point's content-hash key; terminal
+    failures (quarantined poison work) live under this derived key, so
+    the journal stays the single source of truth for both outcomes
+    while a later healthy re-run of the same spec (fresh job directory)
+    is still free to succeed.
+    """
+    return point_key + "#failed"
 
 
 @dataclass(frozen=True)
@@ -170,6 +195,8 @@ class JobStatus:
     scenario_key: str
     leases: Dict[str, int] = field(default_factory=dict)
     error: Optional[str] = None
+    #: Points terminally failed (quarantined poison work).
+    failed: int = 0
 
     def to_dict(self) -> dict:
         out = {
@@ -177,6 +204,7 @@ class JobStatus:
             "status": self.status,
             "total": self.total,
             "done": self.done,
+            "failed": self.failed,
             "workload": self.workload,
             "scenario_key": self.scenario_key,
             "leases": dict(self.leases),
@@ -197,10 +225,20 @@ class JobStore:
     from different machines over a shared filesystem.
     """
 
-    def __init__(self, root, lease_ttl: float = 60.0) -> None:
+    def __init__(
+        self,
+        root,
+        lease_ttl: float = 60.0,
+        max_chunk_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.lease_ttl = float(lease_ttl)
+        self.max_chunk_attempts = int(max_chunk_attempts)
+        #: Corrupt coordination files rebuilt from the journal by this
+        #: instance (lease tables + state files) — observability for
+        #: the chaos battery and `/metrics`.
+        self.recoveries = 0
 
     # -- paths -------------------------------------------------------------
     def job_dir(self, job_id: str) -> pathlib.Path:
@@ -218,8 +256,46 @@ class JobStore:
     def journal(self, job_id: str) -> RunJournal:
         return RunJournal(self.job_dir(job_id) / "journal.jsonl")
 
-    def leases(self, job_id: str) -> LeaseBoard:
-        return LeaseBoard(self.job_dir(job_id) / "leases.json", ttl=self.lease_ttl)
+    def leases(self, job_id: str, clock=None) -> LeaseBoard:
+        board = LeaseBoard(
+            self.job_dir(job_id) / "leases.json",
+            ttl=self.lease_ttl,
+            clock=clock,
+            max_attempts=self.max_chunk_attempts,
+            recover=lambda: self._rebuild_lease_chunks(job_id),
+        )
+        return board
+
+    def _rebuild_lease_chunks(self, job_id: str) -> Dict[str, dict]:
+        """Reconstruct lease-table entries from the journal (ground truth).
+
+        Called by the :class:`LeaseBoard` when ``leases.json`` is torn
+        or corrupt.  Chunks whose every point succeeded come back
+        ``done``; chunks fully resolved but containing failure records
+        come back ``quarantined`` (their terminal verdict lives in the
+        journal, so corruption cannot resurrect poison work); everything
+        else returns to ``pending`` with a fresh attempt budget — the
+        worst case is re-execution, never lost or wrong results.
+        """
+        self.recoveries += 1
+        document = self.load(job_id)
+        journal = self.journal(job_id)
+        entries: Dict[str, dict] = {}
+        for chunk_id, chunk in enumerate(document["chunks"]):
+            keys = [document["points"][i]["key"] for i in chunk]
+            if all(k in journal for k in keys):
+                entry = fresh_entry(state="done")
+            elif all(
+                k in journal or failure_key(k) in journal for k in keys
+            ):
+                entry = fresh_entry(
+                    state="quarantined",
+                    error="rebuilt from journal after lease-table corruption",
+                )
+            else:
+                entry = fresh_entry()
+            entries[str(chunk_id)] = entry
+        return entries
 
     def cache(self) -> ResultCache:
         """Store-wide result cache shared by every job's workers."""
@@ -268,10 +344,9 @@ class JobStore:
         LeaseBoard.initialize(
             self.job_dir(job_id) / "leases.json", n_chunks=len(chunks)
         )
-        save_json_atomic(
+        save_json_guarded(
             {"status": "queued", "updated_unix": time.time()},
             self._state_path(job_id),
-            durable=True,
         )
         # job.json lands last: its presence marks a fully submitted job.
         save_json_atomic(document, job_path, durable=True)
@@ -302,7 +377,50 @@ class JobStore:
         path = self._state_path(job_id)
         if not path.exists():
             return {"status": "queued"}
-        return load_json(path)
+        try:
+            return load_json_guarded(path)
+        except CorruptStateError as exc:
+            logger.warning(
+                "state file for %s unreadable (%s); rebuilding from the "
+                "journal",
+                job_id,
+                exc,
+            )
+            return self._rebuild_state(job_id)
+
+    def _rebuild_state(self, job_id: str) -> dict:
+        """Reconstruct ``state.json`` from durable evidence.
+
+        A finalized result implies a terminal status; journal entries
+        imply ``running``; a bare job is ``queued``.  Explicit
+        ``cancelled``/``failed`` verdicts cannot be reconstructed (they
+        lived only in the lost file) — the job resumes instead, which
+        re-executes at most the unjournaled points and never corrupts a
+        result.
+        """
+        self.recoveries += 1
+        result_path = self._result_path(job_id)
+        if result_path.exists():
+            try:
+                report = load_json(result_path)
+                status = (
+                    "completed_with_failures"
+                    if report.get("failures")
+                    else "done"
+                )
+            except Exception:
+                status = "running"
+        elif len(self.journal(job_id)):
+            status = "running"
+        else:
+            status = "queued"
+        state = {
+            "status": status,
+            "updated_unix": time.time(),
+            "recovered": True,
+        }
+        save_json_guarded(state, self._state_path(job_id))
+        return state
 
     def _write_state(self, job_id: str, status: str, **extra: Any) -> None:
         with file_lock(self._state_path(job_id).with_suffix(".lock")):
@@ -313,7 +431,8 @@ class JobStore:
                 return
             state.update({"status": status, "updated_unix": time.time()})
             state.update(extra)
-            save_json_atomic(state, self._state_path(job_id), durable=True)
+            save_json_guarded(state, self._state_path(job_id))
+            chaos.controller().corrupt_file(self._state_path(job_id))
 
     def mark_running(self, job_id: str) -> None:
         if self._read_state(job_id).get("status") == "queued":
@@ -336,16 +455,40 @@ class JobStore:
         document = self.load(job_id)
         state = self._read_state(job_id)
         journal = self.journal(job_id)
+        board = self.leases(job_id)
+        leases = board.snapshot()
         keys = [p["key"] for p in document["points"]]
-        done = sum(1 for k in keys if k in journal)
+        chunk_of = {
+            index: chunk_id
+            for chunk_id, chunk in enumerate(document["chunks"])
+            for index in chunk
+        }
+        quarantined: Optional[Dict[int, dict]] = None
+        done = 0
+        failed = 0
+        for index, key in enumerate(keys):
+            if key in journal:
+                done += 1
+                continue
+            if failure_key(key) in journal:
+                failed += 1
+                continue
+            # A point in a quarantined chunk counts as failed even when
+            # its holders died before journaling a failure record.
+            if leases["quarantined"]:
+                if quarantined is None:
+                    quarantined = board.quarantined_chunks()
+                if chunk_of[index] in quarantined:
+                    failed += 1
         return JobStatus(
             job_id=job_id,
             status=state.get("status", "queued"),
             total=len(keys),
             done=done,
+            failed=failed,
             workload=document["workload"],
             scenario_key=document["scenario_key"],
-            leases=self.leases(job_id).snapshot(),
+            leases=leases,
             error=state.get("error"),
         )
 
@@ -358,12 +501,19 @@ class JobStore:
         return None if report is None else report.to_dict()
 
     def finalize_if_complete(self, job_id: str) -> Optional[SurvivabilityReport]:
-        """Assemble the report once every point is journaled.
+        """Assemble the report once every point is *resolved*.
 
-        The report is rebuilt from journal entries **in grid order**, so
-        it is bit-identical to the serial campaign's — regardless of
-        which worker finished which point, in what order.  Returns
-        ``None`` while points are outstanding or the job is cancelled.
+        A point is resolved by a journaled success, a journaled failure
+        record, or membership in a quarantined chunk.  The report is
+        rebuilt from journal entries **in grid order**, so the
+        surviving points are bit-identical to the serial campaign's —
+        regardless of which worker finished which point, in what order.
+        Failed points appear as ``failed`` marker records (zeros), with
+        the structured failure details carried in ``report.failures``.
+        The job lands on ``done`` (all survived) or
+        ``completed_with_failures`` (partial), never hangs on poison
+        work.  Returns ``None`` while points are outstanding or the job
+        is cancelled/failed.
         """
         document = self.load(job_id)
         state = self._read_state(job_id)
@@ -371,18 +521,49 @@ class JobStore:
             return None
         journal = self.journal(job_id)
         keys = [p["key"] for p in document["points"]]
-        if any(k not in journal for k in keys):
-            return None
+        chunk_of = {
+            index: chunk_id
+            for chunk_id, chunk in enumerate(document["chunks"])
+            for index in chunk
+        }
+        quarantined: Optional[Dict[int, dict]] = None
+        failures: Dict[int, dict] = {}
+        for index, key in enumerate(keys):
+            if key in journal:
+                continue
+            if failure_key(key) in journal:
+                failures[index] = dict(journal.get(failure_key(key)))
+                continue
+            if quarantined is None:
+                quarantined = self.leases(job_id).quarantined_chunks()
+            verdict = quarantined.get(chunk_of[index])
+            if verdict is None:
+                return None  # still outstanding: keep waiting
+            # Quarantined without a failure record: the chunk's holders
+            # kept dying before reporting (e.g. hard crashes).
+            failures[index] = {
+                "point": document["points"][index]["name"],
+                "error": verdict.get("error")
+                or "chunk quarantined: holders died repeatedly",
+                "attempts": verdict.get("attempts", 0),
+                "worker": verdict.get("worker"),
+            }
         points = CampaignJobSpec.from_dict(document["spec"]).build_points()
         report = SurvivabilityReport(
             workload=document["workload"],
             scenario_key=document["scenario_key"],
         )
-        for point, key in zip(points, keys):
-            result = LifetimeResult.from_dict(journal.get(key))
-            report.add(record_from_result(point, result))
+        for index, (point, key) in enumerate(zip(points, keys)):
+            if index in failures:
+                report.add(SurvivabilityRecord.failed_point(point))
+                report.failures[point.name] = failures[index]
+            else:
+                result = LifetimeResult.from_dict(journal.get(key))
+                report.add(record_from_result(point, result))
         path = self._result_path(job_id)
         if not path.exists():
             save_json_atomic(report.to_dict(), path, durable=True)
-        self._write_state(job_id, "done")
+        self._write_state(
+            job_id, "completed_with_failures" if failures else "done"
+        )
         return report

@@ -10,6 +10,9 @@ Endpoints (all JSON)::
     GET  /api/jobs/<id>/result    finalized SurvivabilityReport
                                   (409 + progress while points remain)
     POST /api/jobs/<id>/cancel    stop further execution (journal kept)
+    GET  /healthz                 liveness: job/worker counts + uptime
+    GET  /metrics                 request/error counters, corruption
+                                  recoveries, chaos injection tallies
 
 The server holds no job state of its own — every request reads or
 writes the shared on-disk :class:`~repro.service.jobs.JobStore`, which
@@ -30,10 +33,12 @@ import logging
 import multiprocessing
 import pathlib
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Optional, Tuple
 
 from repro.exceptions import ConfigurationError, ReproError, ServiceError
+from repro.service import chaos
 from repro.service.jobs import CampaignJobSpec, JobStore
 from repro.service.worker import worker_main
 
@@ -75,6 +80,28 @@ class _JobsAPIHandler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0].strip("/")
         return tuple(p for p in path.split("/") if p)
 
+    def _count(self, route: Tuple[str, ...], method: str, error: bool) -> None:
+        """Tally the request in the server's /metrics counters.
+
+        Job ids are collapsed to ``<id>`` so the route table stays
+        bounded no matter how many jobs pass through.
+        """
+        parts = [
+            "<id>" if i == 2 and route[:2] == ("api", "jobs") else p
+            for i, p in enumerate(route)
+        ]
+        label = f"{method} /" + "/".join(parts)
+        server = self.server
+        lock = getattr(server, "metrics_lock", None)
+        if lock is None:  # handler mounted on a bare HTTPServer
+            return
+        with lock:
+            metrics = server.metrics  # type: ignore[attr-defined]
+            metrics["requests_total"] += 1
+            if error:
+                metrics["errors_total"] += 1
+            metrics["routes"][label] = metrics["routes"].get(label, 0) + 1
+
     # -- request handling --------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("GET")
@@ -82,11 +109,52 @@ class _JobsAPIHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("POST")
 
+    def _healthz(self, store: JobStore) -> dict:
+        job_ids = store.list_ids()
+        active = sum(1 for job_id in job_ids if store.is_active(job_id))
+        started = getattr(self.server, "started_at", None)
+        return {
+            "status": "ok",
+            "service": "repro-campaign-service",
+            "schema": API_SCHEMA,
+            "uptime_s": 0.0 if started is None else round(time.time() - started, 3),
+            "jobs": {"total": len(job_ids), "active": active},
+            "workers": getattr(self.server, "n_workers", 0),
+        }
+
+    def _metrics(self, store: JobStore) -> dict:
+        server = self.server
+        with server.metrics_lock:  # type: ignore[attr-defined]
+            metrics = server.metrics  # type: ignore[attr-defined]
+            requests = {
+                "requests_total": metrics["requests_total"],
+                "errors_total": metrics["errors_total"],
+                "routes": dict(metrics["routes"]),
+            }
+        ctrl = chaos.controller()
+        return {
+            "requests": requests,
+            "store": {
+                "jobs": len(store.list_ids()),
+                "recoveries": store.recoveries,
+            },
+            "chaos": {
+                "enabled": ctrl.enabled,
+                "modes": list(ctrl.config.modes),
+                "injected": dict(ctrl.injected),
+            },
+        }
+
     def _dispatch(self, method: str) -> None:
         store = self.server.store  # type: ignore[attr-defined]
         route = self._route()
+        error = False
         try:
-            if method == "GET" and route == ("api", "info"):
+            if method == "GET" and route == ("healthz",):
+                self._send_json(self._healthz(store))
+            elif method == "GET" and route == ("metrics",):
+                self._send_json(self._metrics(store))
+            elif method == "GET" and route == ("api", "info"):
                 self._send_json(
                     {
                         "service": "repro-campaign-service",
@@ -130,13 +198,19 @@ class _JobsAPIHandler(BaseHTTPRequestHandler):
             ):
                 self._send_json(store.cancel(route[2]).to_dict())
             else:
+                error = True
                 self._send_json({"error": f"no such endpoint: {self.path}"}, 404)
         except (ConfigurationError, json.JSONDecodeError) as exc:
+            error = True
             self._send_json({"error": str(exc)}, 400)
         except ServiceError as exc:
+            error = True
             self._send_json({"error": str(exc)}, 404)
         except ReproError as exc:  # pragma: no cover - defensive catch-all
+            error = True
             self._send_json({"error": str(exc)}, 500)
+        finally:
+            self._count(route, method, error)
 
 
 class CampaignService:
@@ -164,6 +238,14 @@ class CampaignService:
         self.poll_interval = float(poll_interval)
         self._httpd = ThreadingHTTPServer((host, port), _JobsAPIHandler)
         self._httpd.store = self.store  # type: ignore[attr-defined]
+        self._httpd.n_workers = self.n_workers  # type: ignore[attr-defined]
+        self._httpd.started_at = time.time()  # type: ignore[attr-defined]
+        self._httpd.metrics_lock = threading.Lock()  # type: ignore[attr-defined]
+        self._httpd.metrics = {  # type: ignore[attr-defined]
+            "requests_total": 0,
+            "errors_total": 0,
+            "routes": {},
+        }
         self._thread: Optional[threading.Thread] = None
         self._workers: List[multiprocessing.Process] = []
 

@@ -9,7 +9,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.service import CampaignJobSpec
+from repro.service import CampaignJobSpec, chaos
+
+
+@pytest.fixture(autouse=True)
+def chaos_isolation():
+    """Keep the process-global chaos controller out of unrelated tests."""
+    chaos.reset()
+    yield
+    chaos.reset()
 
 
 @pytest.fixture(scope="session")

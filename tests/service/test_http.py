@@ -5,10 +5,18 @@ through the HTTP API, drained by two real worker processes, must yield
 a ``SurvivabilityReport`` bit-identical to the serial campaign.
 """
 
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
 import pytest
 
-from repro.exceptions import ServiceError
+from repro.core.executor import RetryPolicy
+from repro.exceptions import ServiceError, ServiceUnavailableError
 from repro.service import CampaignJobSpec, CampaignService, ServiceClient, ServiceWorker
+
+
+def _impatient_retry() -> RetryPolicy:
+    return RetryPolicy(max_retries=1, backoff_base=0.01, jitter=0.5, jitter_seed=0)
 
 
 @pytest.fixture()
@@ -62,8 +70,81 @@ class TestAPI:
         assert status["status"] == "cancelled"
 
     def test_unreachable_server(self):
+        client = ServiceClient(
+            "http://127.0.0.1:9", timeout=0.5, retry=_impatient_retry()
+        )
         with pytest.raises(ServiceError, match="cannot reach"):
-            ServiceClient("http://127.0.0.1:9", timeout=0.5).info()
+            client.info()
+
+
+class TestHealthAndMetrics:
+    def test_healthz_snapshot(self, client, spec):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["jobs"] == {"total": 0, "active": 0}
+        assert health["uptime_s"] >= 0
+        client.submit(spec)
+        health = client.healthz()
+        assert health["jobs"] == {"total": 1, "active": 1}
+
+    def test_metrics_count_requests_and_errors(self, client, spec):
+        client.info()
+        with pytest.raises(ServiceError):
+            client.status("job-doesnotexist")
+        metrics = client.metrics()
+        requests = metrics["requests"]
+        assert requests["requests_total"] >= 2
+        assert requests["errors_total"] >= 1
+        assert requests["routes"]["GET /api/info"] >= 1
+        # Job ids are collapsed so the route table stays bounded.
+        assert requests["routes"]["GET /api/jobs/<id>"] >= 1
+        assert metrics["chaos"] == {"enabled": False, "modes": [], "injected": {}}
+        assert metrics["store"]["recoveries"] == 0
+
+
+class TestTypedErrors:
+    def test_4xx_is_fatal_and_not_retried(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.status("job-doesnotexist")
+        assert not isinstance(err.value, ServiceUnavailableError)
+        assert err.value.retryable is False
+        # Exactly one request hit the server: fatal errors skip retries.
+        assert client.metrics()["requests"]["routes"]["GET /api/jobs/<id>"] == 1
+
+    def test_unreachable_server_raises_typed_retryable(self):
+        client = ServiceClient(
+            "http://127.0.0.1:9", timeout=0.3, retry=_impatient_retry()
+        )
+        with pytest.raises(ServiceUnavailableError) as err:
+            client.info()
+        assert err.value.retryable is True
+
+    def test_http_5xx_maps_to_service_unavailable(self):
+        class AlwaysBroken(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - http.server API
+                body = b'{"error": "meltdown"}'
+                self.send_response(500)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt, *args):
+                pass
+
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), AlwaysBroken)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = httpd.server_address[:2]
+            client = ServiceClient(
+                f"http://{host}:{port}", timeout=2.0, retry=_impatient_retry()
+            )
+            with pytest.raises(ServiceUnavailableError, match="HTTP 500"):
+                client.info()
+        finally:
+            httpd.shutdown()
+            thread.join(timeout=5.0)
+            httpd.server_close()
 
 
 class TestEndToEnd:

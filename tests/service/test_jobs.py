@@ -3,7 +3,8 @@
 import pytest
 
 from repro.exceptions import ConfigurationError, ServiceError
-from repro.service import CampaignJobSpec, JobStore
+from repro.service import CampaignJobSpec, JobStore, ServiceWorker
+from repro.service.jobs import failure_key
 
 
 class TestSpec:
@@ -102,3 +103,104 @@ class TestStore:
         assert status.status == "failed"
         assert status.error == "kaboom"
         assert not store.is_active(job_id)
+
+
+class TestGracefulDegradation:
+    def test_journaled_failure_record_yields_partial_report(
+        self, tmp_path, spec, golden_report
+    ):
+        store = JobStore(tmp_path)
+        job_id = store.submit(
+            CampaignJobSpec(**{**spec.to_dict(), "chunk_points": 1})
+        )
+        poison = store.load(job_id)["points"][1]
+        store.journal(job_id).record(
+            failure_key(poison["key"]),
+            {
+                "point": poison["name"],
+                "error": "synthetic poison",
+                "worker": "t",
+                "attempts": 3,
+            },
+        )
+        ServiceWorker(store, worker_id="w").drain()
+        status = store.status(job_id)
+        assert status.status == "completed_with_failures"
+        assert (status.done, status.failed, status.total) == (2, 1, 3)
+
+        result = store.result(job_id)
+        golden = {r["point"]: r for r in golden_report.to_dict()["records"]}
+        # Grid order is preserved, failures included as marker records.
+        assert [r["point"] for r in result["records"]] == [
+            p["name"] for p in store.load(job_id)["points"]
+        ]
+        for record in result["records"]:
+            if record["point"] == poison["name"]:
+                assert record["failed"]
+                assert record["lifetime_applications"] == 0
+            else:
+                assert record == golden[record["point"]]
+        assert result["failures"][poison["name"]]["error"] == "synthetic poison"
+
+    def test_quarantined_chunk_without_record_synthesizes_failure(
+        self, tmp_path, spec
+    ):
+        store = JobStore(tmp_path)
+        job_id = store.submit(
+            CampaignJobSpec(**{**spec.to_dict(), "chunk_points": 1})
+        )
+        board = store.leases(job_id)
+        # Exhaust chunk 2's attempt budget as if its holders kept dying
+        # before ever journaling a failure record.
+        board.claim("t")
+        board.claim("t")
+        for _ in range(3):
+            board.claim("t")  # chunk 2 each time (0 and 1 are held)
+            assert board.fail(2, "t", error="host dies") or True
+        board.release(0, "t")
+        board.release(1, "t")
+        ServiceWorker(store, worker_id="w").drain()
+        status = store.status(job_id)
+        assert status.status == "completed_with_failures"
+        assert (status.done, status.failed) == (2, 1)
+        result = store.result(job_id)
+        doomed = store.load(job_id)["points"][2]["name"]
+        assert result["failures"][doomed]["error"] == "host dies"
+        assert result["failures"][doomed]["attempts"] == 3
+
+
+class TestStateRecovery:
+    def test_corrupt_state_rebuilt_from_evidence(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        job_id = store.submit(spec)
+        state_path = store.job_dir(job_id) / "state.json"
+        state_path.write_text("definitely not json")
+        assert store.status(job_id).status == "queued"  # no evidence yet
+        assert store.recoveries == 1
+        key = store.load(job_id)["points"][0]["key"]
+        store.journal(job_id).record(key, {"fake": 1})
+        state_path.write_text("definitely not json")
+        assert store.status(job_id).status == "running"
+
+    def test_corrupt_state_after_completion_recovers_done(
+        self, tmp_path, spec, golden_report
+    ):
+        store = JobStore(tmp_path)
+        job_id = store.submit(spec)
+        ServiceWorker(store, worker_id="w").drain()
+        state_path = store.job_dir(job_id) / "state.json"
+        state_path.write_text('{"sha256": "0000", "payload": {"bogus": 1}}')
+        assert store.status(job_id).status == "done"
+        assert store.recoveries >= 1
+        assert store.result(job_id) == golden_report.to_dict()
+
+    def test_corrupt_leases_rebuilt_from_journal(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        job_id = store.submit(
+            CampaignJobSpec(**{**spec.to_dict(), "chunk_points": 1})
+        )
+        ServiceWorker(store, worker_id="w").drain()
+        (store.job_dir(job_id) / "leases.json").write_text("torn{")
+        status = store.status(job_id)  # triggers the rebuild
+        assert status.leases["done"] == 3
+        assert store.recoveries == 1

@@ -46,11 +46,11 @@ class TestInitialize:
     def test_unknown_schema_raises(self, tmp_path):
         path = tmp_path / "l.json"
         LeaseBoard.initialize(path, n_chunks=1)
-        import json
+        from repro.io import load_json_guarded, save_json_guarded
 
-        doc = json.loads(path.read_text())
+        doc = load_json_guarded(path)
         doc["schema"] = 99
-        path.write_text(json.dumps(doc))
+        save_json_guarded(doc, path)  # valid checksum, future schema
         with pytest.raises(ServiceError):
             LeaseBoard(path).claim("w")
 
@@ -155,6 +155,7 @@ class TestCompleteAndRelease:
             "leased": 0,
             "expired": 0,
             "done": 3,
+            "quarantined": 0,
             "stolen": 0,
         }
 
@@ -164,3 +165,89 @@ class TestCompleteAndRelease:
         snapshot = board.snapshot()
         assert snapshot["expired"] == 1
         assert snapshot["pending"] == 2
+
+
+class TestQuarantine:
+    def test_fail_repends_until_budget_spent_then_quarantines(self, board):
+        # Default budget is 3 attempts; each claim consumes one.
+        for attempt in (1, 2):
+            lease = board.claim("w")
+            assert lease.chunk_id == 0 and lease.attempts == attempt
+            assert not board.fail(lease.chunk_id, "w", error=f"boom {attempt}")
+            assert board.snapshot()["quarantined"] == 0
+        lease = board.claim("w")
+        assert lease.chunk_id == 0 and lease.attempts == 3
+        assert board.fail(lease.chunk_id, "w", error="boom 3")
+        snapshot = board.snapshot()
+        assert snapshot["quarantined"] == 1 and snapshot["pending"] == 2
+        verdict = board.quarantined_chunks()[0]
+        assert verdict["attempts"] == 3
+        assert verdict["error"] == "boom 3"
+
+    def test_quarantined_chunk_is_never_reclaimed(self, board):
+        for _ in range(3):
+            lease = board.claim("w")
+            board.fail(lease.chunk_id, "w", error="boom")
+        claimed = {board.claim("w").chunk_id, board.claim("w").chunk_id}
+        assert claimed == {1, 2}
+        assert board.claim("w") is None
+
+    def test_fail_by_non_holder_is_noop(self, board):
+        lease = board.claim("alice")
+        assert not board.fail(lease.chunk_id, "bob", error="not mine")
+        assert board.snapshot()["leased"] == 1
+
+    def test_repeatedly_dying_holders_exhaust_the_budget(self, board, clock):
+        # Nobody ever calls fail(); the holders just stop heartbeating.
+        # Steal after steal consumes the budget, then the scan
+        # quarantines the chunk in place.
+        for _ in range(3):
+            board.claim("w1")  # every chunk leased; no pending work left
+        for thief in ("w2", "w3"):
+            clock.advance(11.0)
+            lease = board.claim(thief)
+            assert lease.chunk_id == 0 and lease.stolen
+        clock.advance(11.0)
+        lease = board.claim("w4")  # chunk 0's budget spent: steals chunk 1
+        assert lease.chunk_id == 1 and lease.stolen
+        assert board.snapshot()["quarantined"] == 1
+
+    def test_all_resolved_mixes_done_and_quarantined(self, board):
+        lease = board.claim("w")
+        board.complete(lease.chunk_id, "w")
+        for _ in range(3):
+            lease = board.claim("w")
+            board.fail(lease.chunk_id, "w", error="boom")
+        for _ in range(3):
+            lease = board.claim("w")
+            board.fail(lease.chunk_id, "w", error="boom")
+        assert not board.all_done()
+        assert board.all_resolved()
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_table_without_recover_raises(self, tmp_path):
+        path = tmp_path / "leases.json"
+        LeaseBoard.initialize(path, n_chunks=2)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])  # torn
+        with pytest.raises(ServiceError, match="unreadable lease table"):
+            LeaseBoard(path).claim("w")
+
+    def test_corrupt_table_rebuilt_via_recover(self, tmp_path):
+        from repro.service.scheduler import fresh_entry
+
+        path = tmp_path / "leases.json"
+        LeaseBoard.initialize(path, n_chunks=2)
+        path.write_text("{definitely not json")
+        board = LeaseBoard(
+            path,
+            recover=lambda: {
+                "0": fresh_entry(state="done"),
+                "1": fresh_entry(),
+            },
+        )
+        lease = board.claim("w")
+        assert lease.chunk_id == 1  # chunk 0 came back done from the journal
+        assert board.recovered == 1
+        # The rebuilt table is persisted: a fresh board reads it cleanly.
+        assert LeaseBoard(path).snapshot()["done"] == 1

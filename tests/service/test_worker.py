@@ -7,10 +7,13 @@ point journaled exactly once and never re-executed.
 """
 
 import json
+import threading
 import time
 
+from repro.core.executor import RetryPolicy
 from repro.core.results import LifetimeResult
 from repro.service import CampaignJobSpec, JobStore, ServiceWorker
+from repro.service.jobs import failure_key
 
 
 def _journal_lines(store, job_id):
@@ -142,6 +145,172 @@ class TestCrashRecovery:
         status = store.status(job_id)
         assert status.status == "failed"
         assert "removed-preset" in (status.error or "")
+
+
+def _fast_retry(seed: int = 1) -> RetryPolicy:
+    return RetryPolicy(max_retries=2, backoff_base=0.001, jitter=0.5, jitter_seed=seed)
+
+
+class _PoisonWorker(ServiceWorker):
+    """Worker whose simulation deterministically crashes one point."""
+
+    poison_name = "stuck_at@0.01/raw"
+
+    def _run_point(self, framework, spec, point, key):
+        if point.name == self.poison_name:
+            raise RuntimeError(f"poison point {point.name}")
+        return super()._run_point(framework, spec, point, key)
+
+
+class TestPoisonPoints:
+    def test_poison_point_quarantined_healthy_chunkmates_survive(
+        self, tmp_path, spec, golden_report
+    ):
+        store = JobStore(tmp_path)
+        # One chunk spanning the whole grid: the poison point must not
+        # drag its two healthy chunk-mates down with it.
+        job_id = store.submit(
+            CampaignJobSpec(**{**spec.to_dict(), "chunk_points": 3})
+        )
+        worker = _PoisonWorker(store, worker_id="w", retry=_fast_retry())
+        worker.drain()
+        # Healthy points executed once each, never re-run across the
+        # chunk's three attempts.
+        assert worker.points_executed == 2
+
+        status = store.status(job_id)
+        assert status.status == "completed_with_failures"
+        assert (status.done, status.failed) == (2, 1)
+        snapshot = store.leases(job_id).snapshot()
+        assert snapshot["quarantined"] == 1 and snapshot["leased"] == 0
+
+        journal = store.journal(job_id)
+        poison_key = next(
+            p["key"]
+            for p in store.load(job_id)["points"]
+            if p["name"] == _PoisonWorker.poison_name
+        )
+        record = journal.get(failure_key(poison_key))
+        assert record["attempts"] == store.max_chunk_attempts
+        assert "poison point" in record["error"]
+
+        result = store.result(job_id)
+        golden = {r["point"]: r for r in golden_report.to_dict()["records"]}
+        for rec in result["records"]:
+            if rec["point"] == _PoisonWorker.poison_name:
+                assert rec["failed"]
+            else:
+                assert rec == golden[rec["point"]]
+
+    def test_two_workers_share_the_quarantine_verdict(
+        self, tmp_path, spec, golden_report
+    ):
+        store = JobStore(tmp_path)
+        job_id = store.submit(
+            CampaignJobSpec(**{**spec.to_dict(), "chunk_points": 1})
+        )
+        workers = [
+            _PoisonWorker(store, worker_id=f"w{i}", retry=_fast_retry(i))
+            for i in range(2)
+        ]
+        progressed = True
+        while progressed:
+            progressed = False
+            for worker in workers:
+                progressed |= worker.run_once()
+        status = store.status(job_id)
+        assert status.status == "completed_with_failures"
+        assert (status.done, status.failed) == (2, 1)
+        result = store.result(job_id)
+        golden = {r["point"]: r for r in golden_report.to_dict()["records"]}
+        for rec in result["records"]:
+            if not rec["failed"]:
+                assert rec == golden[rec["point"]]
+
+
+class TestDrainLoopResilience:
+    def test_drain_retries_transient_loop_failures(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        store.submit(spec)
+        worker = ServiceWorker(store, worker_id="w", retry=_fast_retry())
+        real_run_once = worker.run_once
+        calls = {"n": 0}
+
+        def flaky_run_once():
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise OSError("jobs directory unreachable")
+            return real_run_once()
+
+        worker.run_once = flaky_run_once
+        assert worker.drain() == 3
+        assert worker.consecutive_failures == 0  # reset by the recovery
+
+    def test_drain_gives_up_after_consecutive_failures(self, tmp_path, spec):
+        store = JobStore(tmp_path)
+        store.submit(spec)
+        worker = ServiceWorker(store, worker_id="w", retry=_fast_retry())
+
+        def always_down():
+            raise OSError("server unreachable")
+
+        worker.run_once = always_down
+        assert worker.drain() == 0
+        assert worker.consecutive_failures == worker.max_consecutive_failures
+
+
+class TestCancelRace:
+    def test_cancel_mid_drain_admits_no_journal_writes(self, tmp_path, spec):
+        """Cancel lands while two workers hold live leases mid-point.
+
+        Both must exit cleanly, discard their in-flight results (no
+        post-cancel journal writes), and hand their leases back.
+        """
+        store = JobStore(tmp_path)
+        job_id = store.submit(
+            CampaignJobSpec(**{**spec.to_dict(), "chunk_points": 1})
+        )
+        barrier = threading.Barrier(3, timeout=60)
+        release = threading.Event()
+
+        class BlockedWorker(ServiceWorker):
+            def _run_point(self, framework, spec_, point, key):
+                result = super()._run_point(framework, spec_, point, key)
+                barrier.wait()  # signal: result computed, lease live
+                release.wait(60)  # hold until the cancel has landed
+                return result
+
+        workers = [
+            BlockedWorker(store, worker_id=f"w{i}", retry=_fast_retry(i))
+            for i in range(2)
+        ]
+        threads = [
+            threading.Thread(target=worker.run_once) for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()  # both workers are mid-point on live leases
+        assert store.leases(job_id).snapshot()["leased"] == 2
+        store.cancel(job_id)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+
+        journal_path = store.job_dir(job_id) / "journal.jsonl"
+        assert not journal_path.exists() or not journal_path.read_text().strip()
+        status = store.status(job_id)
+        assert status.status == "cancelled"
+        assert (status.done, status.failed, status.total) == (0, 0, 3)
+        assert store.leases(job_id).snapshot() == {
+            "pending": 3,
+            "leased": 0,
+            "expired": 0,
+            "done": 0,
+            "quarantined": 0,
+            "stolen": 0,
+        }
+        assert ServiceWorker(store, worker_id="late").drain() == 0
 
 
 class TestSharedCache:

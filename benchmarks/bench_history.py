@@ -1,0 +1,58 @@
+"""One-line-per-run benchmark history (``BENCH_history.jsonl``).
+
+Every ``benchmarks/run_*_bench.py`` ends by appending one JSON record —
+bench name, the run's key speedups, and the git SHA it measured — to
+``BENCH_history.jsonl`` at the repository root.  The snapshot files
+(``BENCH_*.json``) keep the latest full payloads; the history file is
+the machine-readable perf trajectory across PRs, greppable and
+plottable without reconstructing old checkouts.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import subprocess
+from typing import Mapping
+
+HISTORY_NAME = "BENCH_history.jsonl"
+
+
+def git_sha(repo_root: pathlib.Path) -> str:
+    """Current commit SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def append_history(
+    repo_root: pathlib.Path, bench: str, summary: Mapping[str, object]
+) -> dict:
+    """Append one record for ``bench`` to the history file; returns it.
+
+    ``summary`` should carry only the handful of numbers worth tracking
+    across PRs (key speedups, gate outcomes) — the full payload belongs
+    in the bench's own snapshot file.
+    """
+    record = {
+        "bench": bench,
+        "git_sha": git_sha(repo_root),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        **dict(summary),
+    }
+    path = pathlib.Path(repo_root) / HISTORY_NAME
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=False) + "\n")
+    return record

@@ -1,0 +1,205 @@
+"""Per-backend wall-clock of the hot numeric surfaces (DESIGN.md §14).
+
+Three arms, each run once per available backend (numpy always; torch
+when importable — its absence only drops the torch rows, it never fails
+the bench):
+
+* **vmm** — large-array noise-free crossbar VMM (default 512x512,
+  batch 64): the surface where an accelerator pays off first, and the
+  arm the nightly ``REPRO_BENCH_MIN_TORCH_SPEEDUP`` gate applies to.
+* **inference** — batched software-model evaluation on the
+  ``blobs-wide`` preset (wide MLP, large held-out split): the per-window
+  evaluate step of the lifetime loop in isolation.
+* **e2e** — one miniature ``t+t`` lifetime run on ``blobs-wide`` (fast
+  horizon): programming/tuning stay host-side by contract, so this arm
+  shows how much of the loop the backend can actually touch.
+
+Cross-backend agreement is asserted per arm: numpy output is the
+reference, torch must match within the documented float64 tolerance
+(``rtol=1e-8`` here — GEMM reduction order differs).  Writes
+``BENCH_backend.json`` at the repository root and appends a one-line
+record to ``BENCH_history.jsonl``; exits nonzero on disagreement or a
+failed speedup gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_backend_bench.py
+
+Environment overrides: ``REPRO_BBENCH_SIZE`` (array side, default 512),
+``REPRO_BBENCH_BATCH`` (default 64), ``REPRO_BBENCH_REPS`` (default 5),
+``REPRO_BENCH_MIN_TORCH_SPEEDUP`` (fail when the torch vmm arm is below
+this speedup over numpy; default 0 = report only, ignored when torch is
+absent), ``REPRO_BACKEND_DTYPE`` (torch precision policy, default
+float64).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from bench_history import append_history
+from repro.core import AgingAwareFramework, backend
+from repro.core.presets import blobs_wide
+from repro.crossbar import Crossbar
+from repro.device import DeviceConfig
+
+SIZE = int(os.environ.get("REPRO_BBENCH_SIZE", "512"))
+BATCH = int(os.environ.get("REPRO_BBENCH_BATCH", "64"))
+REPS = int(os.environ.get("REPRO_BBENCH_REPS", "5"))
+MIN_TORCH_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_TORCH_SPEEDUP", "0"))
+TORCH_RTOL = 1e-8
+
+
+def available_backends() -> list[str]:
+    names = ["numpy"]
+    if backend.backend_available("torch"):
+        names.append("torch")
+    return names
+
+
+def timed(fn, reps: int = REPS):
+    """Best-of-reps wall clock; returns (last_result, best_seconds)."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def bench_vmm() -> dict:
+    xbar = Crossbar(SIZE, SIZE, DeviceConfig(read_noise=0.0), seed=42)
+    v_batch = np.random.default_rng(7).uniform(0.0, 1.0, size=(BATCH, SIZE))
+    arm: dict = {"array": f"{SIZE}x{SIZE}", "batch": BATCH, "repetitions": REPS}
+    reference = None
+    for name in available_backends():
+        with backend.using(name):
+            xbar.vmm(v_batch)  # warm the device conductance cache
+            out, seconds = timed(lambda: xbar.vmm(v_batch))
+        arm[f"{name}_seconds"] = round(seconds, 6)
+        if reference is None:
+            reference = out
+        else:
+            np.testing.assert_allclose(out, reference, rtol=TORCH_RTOL)
+            arm[f"speedup_{name}_vs_numpy"] = round(
+                arm["numpy_seconds"] / seconds, 2
+            )
+    return arm
+
+
+def bench_inference() -> dict:
+    preset = blobs_wide(fast=False)
+    data = preset.make_dataset()
+    model = preset.build_network(preset.seed)
+    arm: dict = {
+        "workload": f"blobs-wide evaluate, {data.n_test} test samples, "
+        "mlp (256, 128)",
+        "repetitions": REPS,
+    }
+    reference = None
+    for name in available_backends():
+        with backend.using(name):
+            acc, seconds = timed(lambda: model.score(data.x_test, data.y_test))
+        arm[f"{name}_seconds"] = round(seconds, 6)
+        arm[f"{name}_accuracy"] = round(float(acc), 6)
+        if reference is None:
+            reference = acc
+        else:
+            arm[f"speedup_{name}_vs_numpy"] = round(
+                arm["numpy_seconds"] / seconds, 2
+            )
+    return arm
+
+
+def bench_e2e() -> dict:
+    preset = blobs_wide(fast=True)
+    arm: dict = {
+        "workload": "blobs-wide-fast t+t lifetime run "
+        f"({preset.framework_config.lifetime.max_windows} windows)",
+        "repetitions": 1,
+    }
+    for name in available_backends():
+        with backend.using(name):
+            framework = AgingAwareFramework(
+                preset.build_network,
+                preset.make_dataset(),
+                preset.framework_config,
+                seed=preset.seed,
+            )
+            framework.trained_model(False)  # train outside the timed region
+            result, seconds = timed(lambda: framework.run_scenario("t+t"), reps=1)
+        arm[f"{name}_seconds"] = round(seconds, 4)
+        arm[f"{name}_lifetime_windows"] = len(result.windows)
+        if name != "numpy":
+            arm[f"speedup_{name}_vs_numpy"] = round(
+                arm["numpy_seconds"] / seconds, 2
+            )
+    return arm
+
+
+def main() -> int:
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    backends = available_backends()
+
+    vmm = bench_vmm()
+    inference = bench_inference()
+    e2e = bench_e2e()
+
+    torch_speedup = vmm.get("speedup_torch_vs_numpy")
+    payload = {
+        "benchmark": "array backend: per-backend wall clock of the hot "
+        "numeric surfaces (large VMM, batched inference, e2e lifetime)",
+        "cpu_count": os.cpu_count(),
+        "backends": backends,
+        "backend_dtype": os.environ.get("REPRO_BACKEND_DTYPE", "float64"),
+        "large_vmm": vmm,
+        "batched_inference": inference,
+        "end_to_end_lifetime": e2e,
+        "min_torch_speedup_gate": MIN_TORCH_SPEEDUP,
+        "meets_torch_speedup_gate": (
+            None
+            if torch_speedup is None or MIN_TORCH_SPEEDUP <= 0
+            else torch_speedup >= MIN_TORCH_SPEEDUP
+        ),
+    }
+    out = repo_root / "BENCH_backend.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+    append_history(
+        repo_root,
+        "backend",
+        {
+            "backends": backends,
+            "vmm_numpy_seconds": vmm["numpy_seconds"],
+            "vmm_speedup_torch_vs_numpy": torch_speedup,
+            "inference_speedup_torch_vs_numpy": inference.get(
+                "speedup_torch_vs_numpy"
+            ),
+            "e2e_speedup_torch_vs_numpy": e2e.get("speedup_torch_vs_numpy"),
+        },
+    )
+
+    if (
+        "torch" in backends
+        and MIN_TORCH_SPEEDUP > 0
+        and (torch_speedup is None or torch_speedup < MIN_TORCH_SPEEDUP)
+    ):
+        print(
+            f"ERROR: torch large-VMM speedup {torch_speedup}x below the "
+            f"REPRO_BENCH_MIN_TORCH_SPEEDUP={MIN_TORCH_SPEEDUP}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

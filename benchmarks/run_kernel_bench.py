@@ -51,6 +51,8 @@ import time
 import numpy as np
 from scipy.sparse.linalg import spsolve
 
+from bench_history import append_history
+
 from repro.core import (
     AgingAwareFramework,
     FrameworkConfig,
@@ -291,6 +293,16 @@ def main() -> int:
     out = repo_root / "BENCH_kernels.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
+    append_history(
+        repo_root,
+        "kernels",
+        {
+            "speedup_cached_vs_legacy": batch["speedup_cached_vs_legacy"],
+            "speedup_cache_on_vs_off": reads["speedup_cache_on_vs_off"],
+            "speedup_vectorized_vs_scalar": e2e["speedup_vectorized_vs_scalar"],
+            "results_identical": identical,
+        },
+    )
     if not identical:
         print("ERROR: kernel modes disagree", file=sys.stderr)
         return 1

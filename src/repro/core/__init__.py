@@ -54,6 +54,7 @@ from repro.core.presets import (
     PRESETS,
     ExperimentPreset,
     blobs_mini,
+    blobs_wide,
     lenet_glyphs,
     vggnet_shapes,
 )
@@ -91,6 +92,7 @@ __all__ = [
     "WindowRecord",
     "adaptive_chunk_size",
     "blobs_mini",
+    "blobs_wide",
     "cache_enabled",
     "fingerprint",
     "inspect_checkpoint",

@@ -71,7 +71,7 @@ def render_glyph(
     if digit not in _FONT:
         raise ConfigurationError(f"digit must be 0-9, got {digit}")
     rng = ensure_rng(rng)
-    canvas = np.zeros((CANVAS, CANVAS))
+    canvas = np.zeros((CANVAS, CANVAS), dtype=np.float64)
     bitmap = _glyph_bitmap(digit)
     dy = int(rng.integers(0, CANVAS - GLYPH_H + 1))
     dx = int(rng.integers(0, CANVAS - GLYPH_W + 1))

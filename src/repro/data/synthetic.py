@@ -59,7 +59,7 @@ def make_spirals(
         pts = np.stack([r * np.cos(angle), r * np.sin(angle)], axis=1)
         pts += rng.normal(0.0, noise, size=pts.shape)
         xs.append(pts)
-        labels.append(np.full(per_class, c))
+        labels.append(np.full(per_class, c, dtype=np.int64))
     x = np.concatenate(xs)
     labels = np.concatenate(labels)
     return _to_dataset(x, labels, n_classes, "spirals", test_fraction, rng)

@@ -57,7 +57,7 @@ class RowSwapper:
 
     def row_stress(self, layer) -> np.ndarray:
         """Mean accumulated stress per *physical* row of ``layer``."""
-        stress = np.empty(layer.matrix_shape)
+        stress = np.empty(layer.matrix_shape, dtype=np.float64)
         for rs, cs, tile in layer.tiles.iter_tiles():
             stress[rs, cs] = tile.stress_time
         return stress.mean(axis=1)

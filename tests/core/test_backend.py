@@ -1,0 +1,345 @@
+"""Cross-backend battery for :mod:`repro.core.backend` (DESIGN.md §14).
+
+Three tiers of guarantees, matching the backend contract:
+
+* **Host path is bitwise golden.**  With the numpy backend active every
+  dispatch helper must execute exactly the pre-backend numpy
+  expression, so results are bit-identical to direct numpy — asserted
+  with ``assert_array_equal`` over Hypothesis-generated operands.
+* **The dispatch machinery preserves values.**  A fake accelerator
+  backend (numpy arrays wearing ``is_host=False``) forces every
+  boundary crossing, device-cache and conversion-counter code path
+  while computing with the same numpy kernels — so the full dispatch
+  plumbing is exercised bitwise on torch-less installs.
+* **Torch agrees within documented tolerances.**  When torch is
+  importable, the same operands run through the torch backend and must
+  agree within ``rtol=1e-10`` at float64 (same IEEE arithmetic,
+  different summation order).  Skipped cleanly when torch is absent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import backend
+from repro.core.backend import (
+    HOST,
+    ArrayBackend,
+    BackendUnavailableError,
+    DeviceArrayCache,
+    NumpyBackend,
+    gemm,
+    hxp,
+)
+from repro.core.kernels import NodalSolver
+from repro.core.profiling import PROFILER
+from repro.crossbar.crossbar import Crossbar
+from repro.crossbar.parasitics import ParasiticModel, vmm_with_ir_drop
+from repro.device.config import DeviceConfig
+from repro.exceptions import ConfigurationError
+
+TORCH_AVAILABLE = backend.backend_available("torch")
+needs_torch = pytest.mark.skipif(not TORCH_AVAILABLE, reason="torch not installed")
+
+#: Documented float64 torch tolerance (DESIGN.md §14): identical IEEE
+#: arithmetic, different reduction order.
+TORCH_RTOL = 1e-10
+
+
+class FakeDeviceBackend(NumpyBackend):
+    """Numpy compute wearing an accelerator's interface.
+
+    ``is_host = False`` routes every dispatch point through the
+    boundary converters, conversion counters and device caches while
+    the arithmetic stays numpy — the device plumbing is therefore
+    testable bitwise without torch.
+    """
+
+    name = "fake-device"
+    is_host = False
+
+    def asarray(self, x, dtype=None):
+        # Copy, like a real transfer would: distinct object per crossing.
+        host = np.array(x, dtype=dtype)
+        self._count_to_device(int(host.size))
+        return host
+
+    def to_numpy(self, x):
+        out = np.asarray(x)
+        self._count_to_host(int(out.size))
+        return out
+
+
+@pytest.fixture
+def fake_device():
+    with backend.using(FakeDeviceBackend()) as bk:
+        yield bk
+
+
+def seeded(seed, *shape):
+    return np.random.default_rng(seed).uniform(-1.0, 1.0, size=shape)
+
+
+shapes = st.tuples(st.integers(1, 24), st.integers(1, 24), st.integers(1, 24))
+seeds = st.integers(0, 2**31 - 1)
+
+
+class TestRegistry:
+    def test_default_is_numpy_host(self):
+        bk = backend.active()
+        assert bk.is_host and bk.name == "numpy"
+        assert bk is HOST
+
+    def test_make_backend_passthrough_and_specs(self):
+        fake = FakeDeviceBackend()
+        assert backend.make_backend(fake) is fake
+        assert backend.make_backend("numpy") is HOST
+        assert backend.make_backend("") is HOST
+        with pytest.raises(ConfigurationError):
+            backend.make_backend("cupy")
+
+    def test_use_returns_prior_and_using_restores(self):
+        before = backend.active()
+        with backend.using(FakeDeviceBackend()) as bk:
+            assert backend.active() is bk
+            assert not backend.active().is_host
+        assert backend.active() is before
+
+    def test_backend_available(self):
+        assert backend.backend_available("numpy")
+        assert backend.backend_available("torch") == TORCH_AVAILABLE
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setattr(backend, "_ACTIVE", None)
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert backend.active() is HOST
+
+    def test_torch_unavailable_raises_cleanly(self):
+        if TORCH_AVAILABLE:
+            pytest.skip("torch installed; absence path not reachable")
+        with pytest.raises(BackendUnavailableError):
+            backend.make_backend("torch")
+
+    def test_rng_adapter_is_host_stream(self):
+        # Backends never own randomness: the rng adapter returns the
+        # same host generator stream regardless of placement.
+        host_draws = HOST.rng(123).random(8)
+        fake_draws = FakeDeviceBackend().rng(123).random(8)
+        np.testing.assert_array_equal(host_draws, fake_draws)
+
+
+class TestHostBitwise:
+    """Numpy-vs-numpy: the shim must be invisible on the host path."""
+
+    @given(dims=shapes, seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_gemm_is_matmul_bitwise(self, dims, seed):
+        m, k, n = dims
+        a, b = seeded(seed, m, k), seeded(seed + 1, k, n)
+        np.testing.assert_array_equal(gemm(a, b), a @ b)
+
+    @given(dims=shapes, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_host_entry_points_bitwise(self, dims, seed):
+        m, k, n = dims
+        a, b = seeded(seed, m, k), seeded(seed + 1, k, n)
+        np.testing.assert_array_equal(HOST.matmul(a, b), np.matmul(a, b))
+        np.testing.assert_array_equal(
+            HOST.einsum("bi,ij->bj", a, b), np.einsum("bi,ij->bj", a, b)
+        )
+        sq = seeded(seed + 2, k, k) + 3.0 * np.eye(k)
+        rhs = seeded(seed + 3, k, n)
+        np.testing.assert_array_equal(HOST.solve(sq, rhs), np.linalg.solve(sq, rhs))
+        lu = HOST.lu_factor(sq)
+        np.testing.assert_allclose(HOST.lu_solve(lu, rhs), np.linalg.solve(sq, rhs))
+
+    def test_hxp_is_numpy(self):
+        # The host namespace re-export *is* numpy: anything legal on a
+        # pre-backend module is legal on a ported one, bit for bit.
+        assert hxp is np
+
+
+class TestFakeDeviceDispatch:
+    """The full device plumbing, exercised bitwise without torch."""
+
+    @given(dims=shapes, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_gemm_round_trip_bitwise(self, dims, seed):
+        m, k, n = dims
+        a, b = seeded(seed, m, k), seeded(seed + 1, k, n)
+        with backend.using(FakeDeviceBackend()):
+            out = gemm(a, b)
+        np.testing.assert_array_equal(out, a @ b)
+
+    def test_convert_counters_fire(self, fake_device):
+        PROFILER.reset()
+        a, b = seeded(0, 6, 5), seeded(1, 5, 4)
+        gemm(a, b)
+        assert PROFILER.counter("backend.convert.host_to_device") == 2
+        assert PROFILER.counter("backend.convert.host_to_device_elements") == 30 + 20
+        assert PROFILER.counter("backend.convert.device_to_host") == 1
+        assert PROFILER.counter("backend.convert.device_to_host_elements") == 24
+
+    def test_device_array_cache_hits_per_version(self, fake_device):
+        cache = DeviceArrayCache()
+        host = seeded(2, 4, 4)
+        first = cache.get(fake_device, 0, host)
+        again = cache.get(fake_device, 0, host)
+        assert again is first
+        rebuilt = cache.get(fake_device, 1, host)
+        assert rebuilt is not first
+        cache.invalidate()
+        assert cache.get(fake_device, 1, host) is not rebuilt
+
+    def test_device_array_cache_is_host_noop(self):
+        cache = DeviceArrayCache()
+        host = seeded(3, 4, 4)
+        assert cache.get(HOST, 0, host) is host
+        assert cache._slot is None
+
+    def test_device_array_cache_pickles_empty(self, fake_device):
+        import pickle
+
+        cache = DeviceArrayCache()
+        cache.get(fake_device, 0, seeded(4, 3, 3))
+        restored = pickle.loads(pickle.dumps(cache))
+        assert restored._slot is None
+
+    def test_crossbar_vmm_bitwise_and_cached(self, fake_device):
+        xbar = Crossbar(12, 9, DeviceConfig(read_noise=0.0), seed=11)
+        v = seeded(5, 7, 12)
+        expected = v @ xbar.conductances() * xbar.r_tia
+        np.testing.assert_array_equal(xbar.vmm(v), expected)
+        PROFILER.reset()
+        xbar.vmm(v)
+        assert PROFILER.counter("backend.device_cache_hits") == 1
+        # A state mutation must drop the device copy with the host cache.
+        xbar.program(xbar.resistance * 1.01)
+        expected2 = v @ xbar.conductances() * xbar.r_tia
+        np.testing.assert_array_equal(xbar.vmm(v), expected2)
+
+    def test_crossbar_noisy_read_never_device_cached(self, fake_device):
+        xbar = Crossbar(6, 6, DeviceConfig(read_noise=0.05), seed=11)
+        v = seeded(6, 6)
+        xbar.vmm(v)
+        assert xbar._device_g_cache._slot is None
+
+    def test_nodal_solver_bitwise(self, fake_device):
+        g = 1e-4 * (1.0 + 0.2 * np.abs(seeded(7, 10, 8))) + 1e-6
+        solver = NodalSolver(g, r_wire=2.0)
+        v = seeded(8, 5, 10)
+        with backend.using(HOST):
+            reference = solver.solve(v)
+        np.testing.assert_array_equal(solver.solve(v), reference)
+
+    def test_parasitics_approx_bitwise(self, fake_device):
+        g = np.abs(seeded(9, 8, 6)) * 1e-4 + 1e-6
+        v = seeded(10, 4, 8)
+        model = ParasiticModel(r_wire=5.0)
+        with backend.using(HOST):
+            reference = vmm_with_ir_drop(g, v, model)
+        np.testing.assert_array_equal(vmm_with_ir_drop(g, v, model), reference)
+
+
+@needs_torch
+class TestTorchBackend:
+    """Numpy-vs-torch within documented tolerances (float64)."""
+
+    @given(dims=shapes, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_gemm_within_tolerance(self, dims, seed):
+        m, k, n = dims
+        a, b = seeded(seed, m, k), seeded(seed + 1, k, n)
+        with backend.using("torch"):
+            out = gemm(a, b)
+        assert out.dtype == np.float64
+        np.testing.assert_allclose(out, a @ b, rtol=TORCH_RTOL, atol=1e-12)
+
+    @given(dims=shapes, seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_einsum_solve_within_tolerance(self, dims, seed):
+        m, k, n = dims
+        a, b = seeded(seed, m, k), seeded(seed + 1, k, n)
+        bk = backend.make_backend("torch")
+        np.testing.assert_allclose(
+            bk.to_numpy(bk.einsum("bi,ij->bj", a, b)),
+            np.einsum("bi,ij->bj", a, b),
+            rtol=TORCH_RTOL,
+            atol=1e-12,
+        )
+        sq = seeded(seed + 2, k, k) + 3.0 * np.eye(k)
+        rhs = seeded(seed + 3, k, n)
+        np.testing.assert_allclose(
+            bk.to_numpy(bk.solve(sq, rhs)),
+            np.linalg.solve(sq, rhs),
+            rtol=1e-8,
+            atol=1e-10,
+        )
+        np.testing.assert_allclose(
+            bk.to_numpy(bk.lu_solve(bk.lu_factor(sq), rhs)),
+            np.linalg.solve(sq, rhs),
+            rtol=1e-8,
+            atol=1e-10,
+        )
+
+    def test_namespace_ops_match_numpy(self):
+        bk = backend.make_backend("torch")
+        xp = bk.xp
+        a = seeded(11, 5, 7)
+        cases = [
+            (xp.clip(a, -0.5, 0.5), np.clip(a, -0.5, 0.5)),
+            (xp.maximum(a, 0.0), np.maximum(a, 0.0)),
+            (xp.tanh(a), np.tanh(a)),
+            (xp.sum(a, axis=1), np.sum(a, axis=1)),
+            (xp.mean(a, axis=0, keepdims=True), np.mean(a, axis=0, keepdims=True)),
+            (xp.max(a, axis=1), np.max(a, axis=1)),
+            (xp.argmax(a, axis=1), np.argmax(a, axis=1)),
+            (xp.transpose(a), a.T),
+            (xp.reshape(a, (7, 5)), a.reshape(7, 5)),
+            (xp.where(a > 0, a, 0.0), np.where(a > 0, a, 0.0)),
+            (
+                xp.pad(a, ((1, 2), (0, 3))),
+                np.pad(a, ((1, 2), (0, 3))),
+            ),
+            (xp.concatenate([a, a], axis=1), np.concatenate([a, a], axis=1)),
+            (xp.stack([a, a]), np.stack([a, a])),
+        ]
+        for got, want in cases:
+            np.testing.assert_allclose(bk.to_numpy(got), want, rtol=TORCH_RTOL)
+
+    def test_crossbar_vmm_within_tolerance(self):
+        xbar = Crossbar(16, 12, DeviceConfig(read_noise=0.0), seed=13)
+        v = seeded(12, 6, 16)
+        reference = xbar.vmm(v)
+        with backend.using("torch"):
+            out = xbar.vmm(v)
+        np.testing.assert_allclose(out, reference, rtol=TORCH_RTOL, atol=1e-12)
+
+    def test_state_is_host_side_and_identical(self):
+        # Device state evolution never moves off the host: a programming
+        # sequence under the torch backend leaves bit-identical state.
+        def run():
+            xbar = Crossbar(8, 8, DeviceConfig(write_noise=0.1), seed=17)
+            xbar.program(xbar.resistance * 0.7)
+            xbar.step_levels(np.sign(seeded(13, 8, 8)).astype(int))
+            return xbar.resistance, xbar.stress_time, xbar._rng.random(4)
+
+        r_host, s_host, draws_host = run()
+        with backend.using("torch"):
+            r_dev, s_dev, draws_dev = run()
+        np.testing.assert_array_equal(r_dev, r_host)
+        np.testing.assert_array_equal(s_dev, s_host)
+        np.testing.assert_array_equal(draws_dev, draws_host)
+
+    def test_dtype_policy_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND_DTYPE", "float32")
+        bk = backend.make_backend("torch")
+        a, b = seeded(14, 9, 9), seeded(15, 9, 9)
+        with backend.using(bk):
+            out = gemm(a, b)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out, a @ b, rtol=1e-4, atol=1e-5)
+        monkeypatch.setenv("REPRO_BACKEND_DTYPE", "float16")
+        with pytest.raises(ConfigurationError):
+            backend.make_backend("torch")
